@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// Experiment benchmarks: one testing.B target per table/figure of the
+// paper's evaluation, running the same harness as cmd/detbench in quick
+// mode. `go test -bench=Fig7` etc.; full-size runs via `go run
+// ./cmd/detbench`.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Run(id, ".", bench.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig7(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkQuantum(b *testing.B) { benchExperiment(b, "quantum") }
+func BenchmarkTab3(b *testing.B)    { benchExperiment(b, "tab3") }
+
+// Per-workload micro-benchmarks: each benchmark kernel on Determinator
+// and on the nondeterministic baseline, at a fixed small size, so
+// `go test -bench=. -benchmem` exposes the isolation overhead directly.
+
+const (
+	microThreads = 4
+	microMD5     = 1 << 11
+	microMatmult = 64
+	microQsort   = 1 << 13
+	microBS      = 1 << 11
+	microFFT     = 1 << 11
+	microLU      = 64
+)
+
+func benchDet(b *testing.B, name string, size int) {
+	b.Helper()
+	spec, err := workload.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := core.Run(core.Options{
+			Kernel:     kernel.Config{CPUsPerNode: microThreads},
+			SharedSize: spec.SharedBytes(size),
+		}, func(rt *core.RT) uint64 {
+			return spec.Det(rt, microThreads, size)
+		})
+		if res.Status != kernel.StatusHalted {
+			b.Fatalf("%s: %v %v", name, res.Status, res.Err)
+		}
+	}
+}
+
+func benchBase(b *testing.B, name string, size int) {
+	b.Helper()
+	fn := baseline.Baselines()[name]
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += fn(microThreads, size)
+	}
+	_ = sink
+}
+
+func BenchmarkDetMD5(b *testing.B)           { benchDet(b, "md5", microMD5) }
+func BenchmarkBaseMD5(b *testing.B)          { benchBase(b, "md5", microMD5) }
+func BenchmarkDetMatmult(b *testing.B)       { benchDet(b, "matmult", microMatmult) }
+func BenchmarkBaseMatmult(b *testing.B)      { benchBase(b, "matmult", microMatmult) }
+func BenchmarkDetQsort(b *testing.B)         { benchDet(b, "qsort", microQsort) }
+func BenchmarkBaseQsort(b *testing.B)        { benchBase(b, "qsort", microQsort) }
+func BenchmarkDetBlackscholes(b *testing.B)  { benchDet(b, "blackscholes", microBS) }
+func BenchmarkBaseBlackscholes(b *testing.B) { benchBase(b, "blackscholes", microBS) }
+func BenchmarkDetFFT(b *testing.B)           { benchDet(b, "fft", microFFT) }
+func BenchmarkBaseFFT(b *testing.B)          { benchBase(b, "fft", microFFT) }
+func BenchmarkDetLUCont(b *testing.B)        { benchDet(b, "lu_cont", microLU) }
+func BenchmarkDetLUNoncont(b *testing.B)     { benchDet(b, "lu_noncont", microLU) }
+func BenchmarkBaseLU(b *testing.B)           { benchBase(b, "lu_cont", microLU) }
+
+// Substrate micro-benchmarks: the primitive costs behind every number
+// above.
+
+func BenchmarkForkJoinThread(b *testing.B) {
+	res := core.Run(core.Options{}, func(rt *core.RT) uint64 {
+		x := rt.Alloc(4, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.Fork(0, func(t *core.Thread) uint64 {
+				t.Env().WriteU32(x, uint32(i))
+				return 0
+			}); err != nil {
+				panic(err)
+			}
+			if _, err := rt.Join(0); err != nil {
+				panic(err)
+			}
+		}
+		return 0
+	})
+	if res.Status != kernel.StatusHalted {
+		b.Fatalf("%v: %v", res.Status, res.Err)
+	}
+}
+
+func BenchmarkMergeDirtyPages(b *testing.B) {
+	for _, pages := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("dirty=%d", pages), func(b *testing.B) {
+			res := core.Run(core.Options{}, func(rt *core.RT) uint64 {
+				buf := make([]uint32, pages*1024)
+				addr := rt.AllocPages(pages)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := rt.Fork(0, func(t *core.Thread) uint64 {
+						t.Env().WriteU32s(addr, buf)
+						return 0
+					}); err != nil {
+						panic(err)
+					}
+					if _, err := rt.Join(0); err != nil {
+						panic(err)
+					}
+				}
+				return 0
+			})
+			if res.Status != kernel.StatusHalted {
+				b.Fatalf("%v: %v", res.Status, res.Err)
+			}
+		})
+	}
+}

@@ -1,0 +1,18 @@
+// Codesize prints the Table 3 analogue for this repository:
+// implementation code size per component, counting semicolon lines as
+// the paper does plus plain source lines (Go elides most semicolons).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+	t := bench.Tab3(*root)
+	fmt.Print(t.Format())
+}

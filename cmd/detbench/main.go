@@ -1,0 +1,52 @@
+// Detbench regenerates the tables and figures of the paper's evaluation
+// (§6). Each experiment prints the same rows or series the paper
+// reports; EXPERIMENTS.md records a captured run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	detbench [-run id[,id...]] [-quick] [-cpus n] [-root dir]
+//
+// With no -run flag every experiment runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	cpus := flag.Int("cpus", 12, "modelled CPU count for fig7/fig8")
+	root := flag.String("root", ".", "repository root (for tab3)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := bench.Experiments()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	opts := bench.Options{Quick: *quick, CPUs: *cpus}
+	for i, id := range ids {
+		t, err := bench.Run(strings.TrimSpace(id), *root, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.Format())
+	}
+}

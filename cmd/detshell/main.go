@@ -1,0 +1,402 @@
+// Detshell is the Unix-style shell of the Determinator prototype (§5):
+// scripted command execution over the emulated process and file system
+// runtime. Every command runs as a forked child process with its own
+// file system replica; output and file effects reach the shell at wait
+// time, so a script's output is byte-identical on every run.
+//
+// Usage:
+//
+//	echo hello | go run ./cmd/detshell
+//	go run ./cmd/detshell < script.sh
+//
+// Commands: echo, cat, wc, ls, write FILE TEXT..., append FILE TEXT...,
+// rm FILE, stat FILE, par N CMD... (N copies in parallel), crack PREFIX,
+// help, exit. Redirection: CMD ... > FILE. Like the paper's shell, 'ps'
+// would need nondeterministic privileges and is deliberately absent.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/uproc"
+	"repro/internal/workload"
+)
+
+func main() {
+	reg := uproc.NewRegistry()
+	registerCommands(reg)
+	reg.Register("sh", shellMain)
+	res := uproc.Boot(uproc.BootConfig{
+		Kernel:   kernel.Config{CPUsPerNode: 4},
+		Registry: reg,
+		Stdin:    os.Stdin,
+		Stdout:   os.Stdout,
+	}, "sh")
+	os.Exit(res.ExitStatus)
+}
+
+// shellMain is the interpreter loop, running as the init process.
+func shellMain(p *uproc.Proc) int {
+	status := 0
+	for {
+		line, ok := p.ReadLine()
+		if !ok {
+			return status
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "exit" {
+			code := 0
+			if len(fields) > 1 {
+				code, _ = strconv.Atoi(fields[1])
+			}
+			return code
+		}
+		status = runCommand(p, fields)
+	}
+}
+
+// runCommand executes one command line in a child process, handling
+// `|` pipelines, `> file` redirection and the `par` prefix.
+func runCommand(p *uproc.Proc, fields []string) int {
+	redirect := ""
+	if n := len(fields); n >= 2 && fields[n-2] == ">" {
+		redirect = fields[n-1]
+		fields = fields[:n-2]
+	}
+	if len(fields) == 0 {
+		return 0
+	}
+	if hasPipe(fields) {
+		return runPipeline(p, fields, redirect)
+	}
+	if fields[0] == "par" && len(fields) >= 3 {
+		return runParallel(p, fields[1:])
+	}
+
+	args := append([]string{}, fields[1:]...)
+	if redirect != "" {
+		args = append(args, "\x00redirect", redirect)
+	}
+	pid, err := p.ForkExec(fields[0], args...)
+	if err != nil {
+		p.ConsoleWrite([]byte("sh: " + err.Error() + "\n"))
+		return 127
+	}
+	status, conflicts, err := p.Waitpid(pid)
+	if err != nil {
+		p.ConsoleWrite([]byte("sh: " + err.Error() + "\n"))
+		return 126
+	}
+	for _, c := range conflicts {
+		p.ConsoleWrite([]byte("sh: conflict on " + c.Name + "\n"))
+	}
+	return status
+}
+
+func hasPipe(fields []string) bool {
+	for _, f := range fields {
+		if f == "|" {
+			return true
+		}
+	}
+	return false
+}
+
+// runPipeline splits `a ... | b ... | c ...` into stages and runs them
+// as a batch pipeline (§2.3: pipes with one process per end are
+// deterministic). Redirection applies to the final stage.
+func runPipeline(p *uproc.Proc, fields []string, redirect string) int {
+	var stages [][]string
+	stage := []string{}
+	for _, f := range fields {
+		if f == "|" {
+			if len(stage) == 0 {
+				p.ConsoleWrite([]byte("sh: empty pipeline stage\n"))
+				return 2
+			}
+			stages = append(stages, stage)
+			stage = []string{}
+			continue
+		}
+		stage = append(stage, f)
+	}
+	if len(stage) == 0 {
+		p.ConsoleWrite([]byte("sh: empty pipeline stage\n"))
+		return 2
+	}
+	if redirect != "" {
+		stage = append(stage, "\x00redirect", redirect)
+	}
+	stages = append(stages, stage)
+	status, err := p.Pipeline(stages)
+	if err != nil {
+		p.ConsoleWrite([]byte("sh: " + err.Error() + "\n"))
+		return 127
+	}
+	return status
+}
+
+// runParallel forks N copies of a command and waits for all, the
+// parallel-make pattern: their file outputs reconcile at wait.
+func runParallel(p *uproc.Proc, fields []string) int {
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 1 || len(fields) < 2 {
+		p.ConsoleWrite([]byte("sh: usage: par N CMD [ARGS...]\n"))
+		return 2
+	}
+	var pids []int
+	for i := 0; i < n; i++ {
+		args := append(append([]string{}, fields[2:]...), strconv.Itoa(i))
+		pid, err := p.ForkExec(fields[1], args...)
+		if err != nil {
+			p.ConsoleWrite([]byte("sh: " + err.Error() + "\n"))
+			return 127
+		}
+		pids = append(pids, pid)
+	}
+	worst := 0
+	for _, pid := range pids {
+		status, conflicts, err := p.Waitpid(pid)
+		if err != nil {
+			p.ConsoleWrite([]byte("sh: " + err.Error() + "\n"))
+			return 126
+		}
+		for _, c := range conflicts {
+			p.ConsoleWrite([]byte("sh: conflict on " + c.Name + "\n"))
+		}
+		if status != 0 {
+			worst = status
+		}
+	}
+	return worst
+}
+
+// emit writes command output to the console or to a redirect target.
+func emit(p *uproc.Proc, out string) int {
+	args := p.Args()
+	for i := 0; i+1 < len(args); i++ {
+		if args[i] == "\x00redirect" {
+			if err := p.FS().WriteFile(args[i+1], []byte(out)); err != nil {
+				p.ConsoleWrite([]byte(args[0] + ": " + err.Error() + "\n"))
+				return 1
+			}
+			return 0
+		}
+	}
+	p.ConsoleWrite([]byte(out))
+	return 0
+}
+
+// cleanArgs strips the redirect marker from argv.
+func cleanArgs(p *uproc.Proc) []string {
+	args := p.Args()[1:]
+	for i := 0; i+1 < len(args); i++ {
+		if args[i] == "\x00redirect" {
+			return args[:i]
+		}
+	}
+	return args
+}
+
+func registerCommands(reg *uproc.Registry) {
+	reg.Register("echo", func(p *uproc.Proc) int {
+		return emit(p, strings.Join(cleanArgs(p), " ")+"\n")
+	})
+	reg.Register("cat", func(p *uproc.Proc) int {
+		args := cleanArgs(p)
+		if len(args) == 0 {
+			return emit(p, slurpStdin(p)) // pipeline stage
+		}
+		var out strings.Builder
+		for _, name := range args {
+			data, err := p.FS().ReadFile(name)
+			if err != nil {
+				p.ConsoleWrite([]byte("cat: " + name + ": " + err.Error() + "\n"))
+				return 1
+			}
+			out.Write(data)
+		}
+		return emit(p, out.String())
+	})
+	reg.Register("wc", func(p *uproc.Proc) int {
+		args := cleanArgs(p)
+		count := func(name, data string) string {
+			lines := strings.Count(data, "\n")
+			words := len(strings.Fields(data))
+			return fmt.Sprintf("%7d %7d %7d %s\n", lines, words, len(data), name)
+		}
+		if len(args) == 0 {
+			return emit(p, count("-", slurpStdin(p)))
+		}
+		var out strings.Builder
+		for _, name := range args {
+			data, err := p.FS().ReadFile(name)
+			if err != nil {
+				p.ConsoleWrite([]byte("wc: " + name + ": " + err.Error() + "\n"))
+				return 1
+			}
+			out.WriteString(count(name, string(data)))
+		}
+		return emit(p, out.String())
+	})
+	reg.Register("grep", func(p *uproc.Proc) int {
+		args := cleanArgs(p)
+		if len(args) < 1 {
+			p.ConsoleWrite([]byte("grep: usage: ... | grep PATTERN\n"))
+			return 2
+		}
+		var out strings.Builder
+		matched := false
+		for {
+			line, ok := p.ReadLine()
+			if !ok && line == "" {
+				break
+			}
+			if strings.Contains(line, args[0]) {
+				out.WriteString(line + "\n")
+				matched = true
+			}
+			if !ok {
+				break
+			}
+		}
+		emit(p, out.String())
+		if matched {
+			return 0
+		}
+		return 1
+	})
+	reg.Register("sort", func(p *uproc.Proc) int {
+		var lines []string
+		for {
+			line, ok := p.ReadLine()
+			if !ok && line == "" {
+				break
+			}
+			lines = append(lines, line)
+			if !ok {
+				break
+			}
+		}
+		sortStrings(lines)
+		var out strings.Builder
+		for _, l := range lines {
+			out.WriteString(l + "\n")
+		}
+		return emit(p, out.String())
+	})
+	reg.Register("ls", func(p *uproc.Proc) int {
+		var out strings.Builder
+		for _, info := range p.FS().List() {
+			flag := " "
+			if info.Conflicted {
+				flag = "!"
+			}
+			fmt.Fprintf(&out, "%s %8d  %s\n", flag, info.Size, info.Name)
+		}
+		return emit(p, out.String())
+	})
+	reg.Register("write", func(p *uproc.Proc) int {
+		args := cleanArgs(p)
+		if len(args) < 1 {
+			p.ConsoleWrite([]byte("write: usage: write FILE [TEXT...]\n"))
+			return 2
+		}
+		text := strings.Join(args[1:], " ") + "\n"
+		if err := p.FS().WriteFile(args[0], []byte(text)); err != nil {
+			p.ConsoleWrite([]byte("write: " + err.Error() + "\n"))
+			return 1
+		}
+		return 0
+	})
+	reg.Register("append", func(p *uproc.Proc) int {
+		args := cleanArgs(p)
+		if len(args) < 1 {
+			p.ConsoleWrite([]byte("append: usage: append FILE [TEXT...]\n"))
+			return 2
+		}
+		fsys := p.FS()
+		if _, err := fsys.Stat(args[0]); err != nil {
+			if err := fsys.CreateAppendOnly(args[0]); err != nil {
+				p.ConsoleWrite([]byte("append: " + err.Error() + "\n"))
+				return 1
+			}
+		}
+		if err := fsys.Append(args[0], []byte(strings.Join(args[1:], " ")+"\n")); err != nil {
+			p.ConsoleWrite([]byte("append: " + err.Error() + "\n"))
+			return 1
+		}
+		return 0
+	})
+	reg.Register("rm", func(p *uproc.Proc) int {
+		for _, name := range cleanArgs(p) {
+			if err := p.FS().Unlink(name); err != nil {
+				p.ConsoleWrite([]byte("rm: " + name + ": " + err.Error() + "\n"))
+				return 1
+			}
+		}
+		return 0
+	})
+	reg.Register("stat", func(p *uproc.Proc) int {
+		var out strings.Builder
+		for _, name := range cleanArgs(p) {
+			info, err := p.FS().Stat(name)
+			if err != nil {
+				p.ConsoleWrite([]byte("stat: " + name + ": " + err.Error() + "\n"))
+				return 1
+			}
+			fmt.Fprintf(&out, "%s: %d bytes, version %d, append-only=%v, conflicted=%v\n",
+				info.Name, info.Size, info.Version, info.AppendOnly, info.Conflicted)
+		}
+		return emit(p, out.String())
+	})
+	reg.Register("crack", func(p *uproc.Proc) int {
+		// A miniature of the md5 benchmark: find the planted candidate.
+		args := cleanArgs(p)
+		size := 1 << 12
+		if len(args) > 0 {
+			if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+				size = v
+			}
+		}
+		found := workload.MD5Seq(size)
+		return emit(p, fmt.Sprintf("cracked: candidate %d of %d\n", found, size))
+	})
+	reg.Register("help", func(p *uproc.Proc) int {
+		return emit(p, "commands: echo cat wc grep sort ls write append rm stat crack par help exit\n"+
+			"redirection: CMD ... > FILE   pipelines: A | B | C   parallel: par N CMD ARGS...\n")
+	})
+	_ = fs.ErrNotFound
+}
+
+// slurpStdin reads this process's standard input to EOF.
+func slurpStdin(p *uproc.Proc) string {
+	var out strings.Builder
+	buf := make([]byte, 512)
+	for {
+		n := p.ConsoleRead(buf)
+		if n == 0 {
+			return out.String()
+		}
+		out.Write(buf[:n])
+	}
+}
+
+// sortStrings is a small insertion sort (keeping the shell stdlib-lean
+// and deterministic).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

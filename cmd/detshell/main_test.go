@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/uproc"
+)
+
+// runScript executes a shell script and returns its console output.
+func runScript(t *testing.T, script string) (int, string) {
+	t.Helper()
+	reg := uproc.NewRegistry()
+	registerCommands(reg)
+	reg.Register("sh", shellMain)
+	var out bytes.Buffer
+	res := uproc.Boot(uproc.BootConfig{
+		Kernel:   kernel.Config{CPUsPerNode: 2},
+		Registry: reg,
+		Stdin:    strings.NewReader(script),
+		Stdout:   &out,
+	}, "sh")
+	if res.Run.Status != kernel.StatusHalted {
+		t.Fatalf("shell stopped with %v: %v", res.Run.Status, res.Run.Err)
+	}
+	return res.ExitStatus, out.String()
+}
+
+func TestShellEcho(t *testing.T) {
+	_, out := runScript(t, "echo hello world\n")
+	if out != "hello world\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShellWriteCatRoundTrip(t *testing.T) {
+	_, out := runScript(t, "write f.txt some content\ncat f.txt\n")
+	if out != "some content\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShellRedirection(t *testing.T) {
+	_, out := runScript(t, "echo redirected > f\ncat f\n")
+	if out != "redirected\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShellPipeline(t *testing.T) {
+	_, out := runScript(t,
+		"append lines cherry\nappend lines apple\nappend lines banana\n"+
+			"cat lines | sort\n")
+	if out != "apple\nbanana\ncherry\n" {
+		t.Errorf("sorted pipeline out = %q", out)
+	}
+}
+
+func TestShellPipelineGrepWc(t *testing.T) {
+	_, out := runScript(t,
+		"append log alpha ERROR one\nappend log beta ok\nappend log gamma ERROR two\n"+
+			"cat log | grep ERROR | wc\n")
+	if !strings.Contains(out, "      2") {
+		t.Errorf("grep|wc out = %q, want 2 lines counted", out)
+	}
+}
+
+func TestShellParallelOutputsAreUnits(t *testing.T) {
+	_, out := runScript(t, "par 3 echo job\n")
+	if out != "job 0\njob 1\njob 2\n" {
+		t.Errorf("par out = %q (outputs must appear as ordered units)", out)
+	}
+}
+
+func TestShellConflictReported(t *testing.T) {
+	// Two parallel writers to the same file: the shell reports the
+	// conflict instead of silently keeping one.
+	_, out := runScript(t, "par 2 write same.txt data\nls\n")
+	if !strings.Contains(out, "conflict on same.txt") {
+		t.Errorf("conflict not reported: %q", out)
+	}
+	if !strings.Contains(out, "! ") {
+		t.Errorf("ls does not flag the conflicted file: %q", out)
+	}
+}
+
+func TestShellExitStatus(t *testing.T) {
+	status, _ := runScript(t, "exit 3\n")
+	if status != 3 {
+		t.Errorf("exit status = %d, want 3", status)
+	}
+}
+
+func TestShellUnknownCommand(t *testing.T) {
+	_, out := runScript(t, "frobnicate\n")
+	if !strings.Contains(out, "sh: ") {
+		t.Errorf("unknown command not reported: %q", out)
+	}
+}
+
+func TestShellDeterministicAcrossRuns(t *testing.T) {
+	script := "par 4 echo x\nappend l a\nappend l b\ncat l | sort | wc\nls\n"
+	_, first := runScript(t, script)
+	for i := 0; i < 3; i++ {
+		if _, out := runScript(t, script); out != first {
+			t.Fatalf("run %d differs:\n%q\nvs\n%q", i, out, first)
+		}
+	}
+}
+
+func TestShellCrack(t *testing.T) {
+	_, out := runScript(t, "crack 1024\n")
+	if !strings.Contains(out, "cracked: candidate 768 of 1024") {
+		t.Errorf("crack out = %q", out)
+	}
+}

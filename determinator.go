@@ -1,0 +1,139 @@
+// Package repro is a from-scratch Go reproduction of Determinator, the
+// operating system of "Efficient System-Enforced Deterministic
+// Parallelism" (Aviram, Weng, Hu, Ford — OSDI 2010).
+//
+// The root package is a facade over the layered implementation:
+//
+//   - internal/vm      — software paged memory: COW, snapshots, byte-level merge
+//   - internal/kernel  — spaces, Put/Get/Ret, instruction limits, migration,
+//     devices, and the deterministic virtual-time cost model
+//   - internal/core    — the private workspace model: fork/join threads,
+//     barriers, deterministic allocation (the paper's §4.4)
+//   - internal/fs      — replicated file system with versioned reconciliation
+//   - internal/uproc   — Unix process emulation: fork/exec/wait, console I/O
+//   - internal/dsched  — deterministic scheduling of legacy mutex/condvar code
+//   - internal/trace   — record/replay of explicit nondeterministic inputs
+//   - internal/workload, internal/baseline, internal/bench — the paper's
+//     evaluation: benchmarks, comparison systems, experiment harness
+//
+// The quickest start:
+//
+//	res := repro.Run(repro.Options{}, func(rt *repro.RT) uint64 {
+//	    x := rt.Alloc(4, 0)
+//	    rt.Env().WriteU32(x, 1)
+//	    rt.ParallelDo(4, func(t *repro.Thread) uint64 { ... })
+//	    return uint64(rt.Env().ReadU32(x))
+//	})
+//
+// Everything a program computes under this API is deterministic: results
+// depend only on the program and its explicit inputs, never on scheduling.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dsched"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+	"repro/internal/uproc"
+	"repro/internal/vm"
+)
+
+// Kernel layer.
+type (
+	// Machine is a simulated Determinator machine (or cluster).
+	Machine = kernel.Machine
+	// MachineConfig configures nodes, CPUs, cost model and devices.
+	MachineConfig = kernel.Config
+	// CostModel holds the virtual-time constants.
+	CostModel = kernel.CostModel
+	// Env is a space's handle to its private memory and the syscall API.
+	Env = kernel.Env
+	// Regs is a space's register state.
+	Regs = kernel.Regs
+	// PutOpts / GetOpts select syscall options (Table 2 of the paper).
+	PutOpts = kernel.PutOpts
+	// GetOpts selects Get options.
+	GetOpts = kernel.GetOpts
+	// RunResult reports a completed root program.
+	RunResult = kernel.RunResult
+	// Status reports why a space stopped.
+	Status = kernel.Status
+)
+
+// Private workspace threading (the paper's primary contribution).
+type (
+	// RT is the user-level runtime: fork/join, barriers, allocation.
+	RT = core.RT
+	// Thread is a private-workspace thread handle.
+	Thread = core.Thread
+	// Options configures Run.
+	Options = core.Options
+	// ConflictError reports a write/write conflict found at join.
+	ConflictError = core.ConflictError
+)
+
+// Unix emulation.
+type (
+	// Proc is an emulated Unix process.
+	Proc = uproc.Proc
+	// Program is an executable image for fork/exec.
+	Program = uproc.Program
+	// Registry maps program names to images.
+	Registry = uproc.Registry
+	// BootConfig configures a process-tree boot.
+	BootConfig = uproc.BootConfig
+)
+
+// Supporting layers.
+type (
+	// FS is a handle on a replicated file system image.
+	FS = fs.FS
+	// Sched is the deterministic scheduler for legacy thread APIs.
+	Sched = dsched.Sched
+	// SchedThread is a thread handle under the deterministic scheduler.
+	SchedThread = dsched.Thread
+	// Mutex names a scheduler-managed mutex.
+	Mutex = dsched.Mutex
+	// Cond names a scheduler-managed condition variable.
+	Cond = dsched.Cond
+	// TraceLog records a run's explicit nondeterministic inputs.
+	TraceLog = trace.Log
+	// Addr is a 32-bit virtual address.
+	Addr = vm.Addr
+)
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg MachineConfig) *Machine { return kernel.New(cfg) }
+
+// Run executes main as a deterministic parallel program on a fresh
+// machine and returns the result.
+func Run(opts Options, main func(rt *RT) uint64) RunResult { return core.Run(opts, main) }
+
+// NewRT attaches a private-workspace runtime to a root environment,
+// mapping the shared region (size 0 selects the default).
+func NewRT(env *Env, sharedSize uint64) *RT { return core.New(env, sharedSize) }
+
+// NewRegistry returns an empty program registry for Boot.
+func NewRegistry() *Registry { return uproc.NewRegistry() }
+
+// Boot runs a Unix-style process tree from the named init program.
+func Boot(cfg BootConfig, entry string, args ...string) uproc.BootResult {
+	return uproc.Boot(cfg, entry, args...)
+}
+
+// NewSched creates a deterministic scheduler for legacy mutex/condvar
+// code in the master space managed by rt.
+func NewSched(rt *RT, quantum int64) *Sched {
+	return dsched.New(rt, dsched.Config{Quantum: quantum})
+}
+
+// RecordTrace instruments cfg so all nondeterministic device inputs are
+// captured; ReplayTrace makes cfg reproduce a recorded log.
+func RecordTrace(cfg *MachineConfig) *TraceLog { return trace.Record(cfg) }
+
+// ReplayTrace configures cfg's devices to replay l.
+func ReplayTrace(cfg *MachineConfig, l *TraceLog) { trace.Replay(cfg, l) }
+
+// UnmarshalTrace parses a serialized trace log.
+func UnmarshalTrace(data []byte) (*TraceLog, error) { return trace.Unmarshal(data) }

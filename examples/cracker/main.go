@@ -1,0 +1,59 @@
+// Cracker: the paper's md5 brute-force search (§6.2–6.3), distributed
+// across a simulated cluster by space migration — the md5-tree pattern
+// of Figure 11. The search program is written against plain logically
+// shared memory; distribution is just a matter of forking workers whose
+// home is another node, and the deterministic virtual-time model shows
+// the resulting speedup.
+//
+// Run: go run ./examples/cracker [-nodes N] [-space SIZE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster size (uniprocessor nodes)")
+	space := flag.Int("space", 1<<15, "candidate space size")
+	flag.Parse()
+
+	target := workload.MD5Target(*space)
+	digest := workload.MD5Candidate(target)
+	fmt.Printf("searching %d candidates for digest %x...\n", *space, digest[:6])
+
+	vt := func(n int) (int64, uint64) {
+		var found uint64
+		res := core.Run(core.Options{
+			Kernel:     kernel.Config{Nodes: n, CPUsPerNode: 1},
+			SharedSize: 1 << 20,
+		}, func(rt *core.RT) uint64 {
+			found = workload.MD5Tree(rt, n, *space)
+			return found
+		})
+		if res.Status != kernel.StatusHalted {
+			fmt.Fprintf(os.Stderr, "cluster run failed: %v %v\n", res.Status, res.Err)
+			os.Exit(1)
+		}
+		return res.VT, found
+	}
+
+	single, found1 := vt(1)
+	multi, foundN := vt(*nodes)
+	if found1 != target || foundN != target {
+		fmt.Fprintf(os.Stderr, "wrong answer: %d / %d, want %d\n", found1, foundN, target)
+		os.Exit(1)
+	}
+	fmt.Printf("cracked: candidate %d (identical answer on 1 node and on %d nodes)\n",
+		foundN, *nodes)
+	fmt.Printf("1 node : %6.1fM virtual instructions\n", float64(single)/1e6)
+	fmt.Printf("%d nodes: %6.1fM virtual instructions (speedup %.2fx)\n",
+		*nodes, float64(multi)/1e6, float64(single)/float64(multi))
+	fmt.Println("the workers share memory logically; the kernel migrated spaces and")
+	fmt.Println("demand-paged their working sets across the simulated cluster (§3.3).")
+}

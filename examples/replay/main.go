@@ -1,0 +1,113 @@
+// Replay: record-and-replay of explicit nondeterministic inputs (§2.1).
+//
+// A program that consumes "wall-clock" time readings, entropy, and
+// console input runs once while a supervising recorder logs every
+// nondeterministic input at the device boundary. The log is then
+// serialized, restored, and the program re-runs with synthesized
+// devices: because the kernel eliminates all internal nondeterminism,
+// replaying the explicit inputs alone reproduces the run byte for byte
+// — the foundation of replay debugging, fault tolerance and intrusion
+// analysis that motivates the paper.
+//
+// Run: go run ./examples/replay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	repro "repro"
+	"repro/internal/kernel"
+)
+
+// program is deliberately "noisy": its output depends on the clock,
+// the entropy device, console input, and parallel child results.
+func program(env *repro.Env) {
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "boot at t=%d\n", env.ClockNow())
+
+	// Parallel children whose merged results feed the output.
+	for i := uint64(1); i <= 3; i++ {
+		seed := env.RandUint64()
+		if err := env.Put(i, repro.PutOpts{
+			Regs: &repro.Regs{Entry: func(c *repro.Env) {
+				v := c.Arg()
+				for j := 0; j < 1000; j++ {
+					v = v*6364136223846793005 + 1442695040888963407
+					c.Tick(3)
+				}
+				c.SetRet(v)
+			}, Arg: seed},
+			Start: true,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	for i := uint64(1); i <= 3; i++ {
+		info, err := env.Get(i, repro.GetOpts{Regs: true})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&out, "worker %d -> %x\n", i, info.Regs.Ret&0xffffff)
+	}
+
+	var in [64]byte
+	n := env.ConsoleRead(in[:])
+	fmt.Fprintf(&out, "stdin said %q at t=%d\n", in[:n], env.ClockNow())
+	env.ConsoleWrite(out.Bytes())
+}
+
+func runOnce(cfg repro.MachineConfig, stdin string) string {
+	var out bytes.Buffer
+	cfg.Console = kernel.NewConsole(strings.NewReader(stdin), &out)
+	repro.NewMachine(cfg).Run(program, 0)
+	return out.String()
+}
+
+func main() {
+	// --- Recorded run with genuinely nondeterministic devices ----------
+	cfg := repro.MachineConfig{
+		Clock: func() int64 { return time.Now().UnixNano() },
+		Rand:  kernel.SeededRand(uint64(time.Now().UnixNano() | 1)),
+	}
+	log := repro.RecordTrace(&cfg)
+	var out1 bytes.Buffer
+	cfg.Console = kernel.NewConsole(log.RecordInput(strings.NewReader("hello from the outside\n")), &out1)
+	repro.NewMachine(cfg).Run(program, 0)
+
+	fmt.Println("--- recorded run ---")
+	fmt.Print(out1.String())
+
+	blob, err := log.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("--- trace: %d bytes (%d clock readings, %d entropy words, %d input chunks) ---\n",
+		len(blob), len(log.Clock), len(log.Rand), len(log.Input))
+
+	// --- Replay from the serialized trace -------------------------------
+	restored, err := repro.UnmarshalTrace(blob)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var cfg2 repro.MachineConfig
+	repro.ReplayTrace(&cfg2, restored)
+	var out2 bytes.Buffer
+	cfg2.Console = kernel.NewConsole(restored.ReplayInput(), &out2)
+	repro.NewMachine(cfg2).Run(program, 0)
+
+	fmt.Println("--- replayed run ---")
+	fmt.Print(out2.String())
+
+	if out1.String() == out2.String() {
+		fmt.Println("--- byte-for-byte identical ---")
+	} else {
+		fmt.Println("--- REPLAY DIVERGED (bug!) ---")
+		os.Exit(1)
+	}
+}

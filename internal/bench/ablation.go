@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// ROCache is the ablation of §3.3's read-only page caching: when a space
+// repeatedly migrates among nodes, each node's kernel reuses cached
+// copies of pages the space only reads (program code, reference data).
+// The workload is the access pattern the optimization targets: a master
+// carrying a read-only reference table (64 pages) makes several laps of
+// the cluster, consulting the table on every node to dispatch work —
+// the "travelling salesman" pattern of md5-circuit with a working set
+// big enough to matter.
+func ROCache(o Options) Table {
+	nodeSteps := []int{2, 4, 8, 16}
+	if o.Quick {
+		nodeSteps = []int{2, 4}
+	}
+	const refPages = 64
+	const laps = 3
+	run := func(nodes int, disable bool) int64 {
+		res := core.Run(core.Options{
+			Kernel: kernel.Config{
+				Nodes:          nodes,
+				CPUsPerNode:    1,
+				DisableROCache: disable,
+			},
+			SharedSize: 1 << 20,
+		}, func(rt *core.RT) uint64 {
+			env := rt.Env()
+			ref := rt.AllocPages(refPages)
+			table := make([]uint32, refPages*1024)
+			for i := range table {
+				table[i] = uint32(i)
+			}
+			env.WriteU32s(ref, table)
+			buf := make([]uint32, refPages*1024)
+			for lap := 0; lap < laps; lap++ {
+				for nd := 0; nd < nodes; nd++ {
+					id := lap*nodes + nd
+					// Fork a worker on node nd (this migrates the
+					// master there)...
+					if err := rt.ForkOn(nd, id, func(t *core.Thread) uint64 {
+						t.Env().Tick(10_000)
+						return 0
+					}); err != nil {
+						panic(err)
+					}
+					// ...where the master consults its reference table
+					// to decide the next dispatch.
+					env.ReadU32s(ref, buf)
+					if _, err := rt.JoinOn(nd, id); err != nil {
+						panic(err)
+					}
+				}
+			}
+			return 0
+		})
+		if res.Status != kernel.StatusHalted {
+			panic(fmt.Sprintf("bench: rocache ablation stopped: %v %v", res.Status, res.Err))
+		}
+		return res.VT
+	}
+	t := Table{
+		ID:     "rocache",
+		Title:  "ablation: read-only page cache for re-migrating spaces (§3.3)",
+		Header: []string{"nodes", "cached", "uncached", "penalty"},
+	}
+	for _, n := range nodeSteps {
+		c := run(n, false)
+		u := run(n, true)
+		t.AddRow(iv(int64(n)), mi(c), mi(u), pct(float64(u)/float64(c)-1))
+	}
+	t.Note("a master carrying a %d-page read-only table makes %d laps of the cluster;", refPages, laps)
+	t.Note("without per-node caching every revisit re-transfers the table.")
+	return t
+}

@@ -1,0 +1,329 @@
+// Package core implements Determinator's private workspace model for
+// shared-memory multithreading (§2.2 and §4.4 of the paper): the primary
+// contribution of the system, packaged as a small thread API.
+//
+// Each thread is a kernel space holding a complete private replica of the
+// logically shared memory region. Fork copies the shared region into the
+// child copy-on-write and snapshots it; the thread then reads and writes
+// its replica with no interaction whatsoever with other threads. Join
+// merges the child's changes since the snapshot back into the parent,
+// byte by byte, detecting write/write conflicts. Barriers do the same for
+// a whole group and hand every thread a fresh snapshot of the combined
+// state.
+//
+// Consequences, exactly as the paper argues: read/write races cannot be
+// expressed (a read can only observe causally prior writes), and
+// write/write races become deterministic, reliably reported conflicts
+// instead of silent schedule-dependent corruption.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// Shared-region layout. The region sits at a 4 MiB-aligned base so kernel
+// copies take the bulk table-sharing path; everything outside it is
+// thread-private (our threads keep Go-native locals, the analogue of the
+// paper's thread-private stacks located outside the shared region).
+const (
+	// SharedBase is the virtual address where the logically shared region
+	// begins in every thread's address space.
+	SharedBase vm.Addr = 0x1000_0000
+	// DefaultSharedSize is the default size of the shared region.
+	DefaultSharedSize uint64 = 64 << 20
+)
+
+// RT is the user-level runtime for one space: it manages the shared
+// region, a deterministic allocator, and the fork/join/barrier protocol
+// over the kernel's Put/Get/Ret API. The main program owns an RT for the
+// root space; each thread gets an RT for its own space, so nested forks
+// (e.g. recursive parallel quicksort) work the same at every level.
+type RT struct {
+	env  *kernel.Env
+	base vm.Addr
+	size uint64
+	next vm.Addr // allocator cursor (application-chosen names, §2.4)
+}
+
+// Thread is the handle passed to thread functions. It embeds an RT for
+// the thread's own space, so a thread can fork and join sub-threads.
+type Thread struct {
+	*RT
+	// ID is the thread's number in its parent's namespace.
+	ID int
+}
+
+// ThreadFunc is the body of a thread. Its return value is delivered to
+// Join (the future idiom).
+type ThreadFunc func(t *Thread) uint64
+
+// New initializes a runtime for env's space, mapping the shared region.
+// size is rounded up to a 4 MiB multiple; 0 selects DefaultSharedSize.
+func New(env *kernel.Env, size uint64) *RT {
+	if size == 0 {
+		size = DefaultSharedSize
+	}
+	const chunk = 4 << 20
+	size = (size + chunk - 1) / chunk * chunk
+	env.SetPerm(SharedBase, size, vm.PermRW)
+	return &RT{env: env, base: SharedBase, size: size, next: SharedBase}
+}
+
+// child wraps an already-initialized space (a forked thread): the shared
+// region is inherited, not remapped.
+func child(env *kernel.Env, base vm.Addr, size uint64) *RT {
+	return &RT{env: env, base: base, size: size, next: base + vm.Addr(size)}
+}
+
+// Env exposes the underlying kernel environment for direct memory access.
+func (rt *RT) Env() *kernel.Env { return rt.env }
+
+// SharedRange reports the shared region.
+func (rt *RT) SharedRange() (vm.Addr, uint64) { return rt.base, rt.size }
+
+// Alloc reserves size bytes in the shared region, aligned to align (which
+// must be a power of two; 0 means 8). Allocation is a deterministic bump
+// pointer: addresses depend only on the sequence of Alloc calls, never on
+// timing — the race-free namespace principle of §2.4. Threads must not
+// allocate after forking has begun; allocate first, then fork.
+func (rt *RT) Alloc(size uint64, align uint64) vm.Addr {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("core: Alloc align %d not a power of two", align))
+	}
+	a := (uint64(rt.next) + align - 1) &^ (align - 1)
+	end := a + size
+	if end > uint64(rt.base)+rt.size {
+		panic(fmt.Sprintf("core: shared region exhausted (%d bytes requested)", size))
+	}
+	rt.next = vm.Addr(end)
+	return vm.Addr(a)
+}
+
+// AllocPages reserves n whole pages, page-aligned.
+func (rt *RT) AllocPages(n int) vm.Addr {
+	return rt.Alloc(uint64(n)*vm.PageSize, vm.PageSize)
+}
+
+func (rt *RT) ref(node, id int) uint64 {
+	if node < 0 {
+		return uint64(id + 1)
+	}
+	return kernel.ChildOn(node, uint64(id+1))
+}
+
+// Fork starts thread id running fn with a private copy of the shared
+// region, snapshotted as the merge reference (Put with Copy, Snap, Regs
+// and Start, per §4.4).
+func (rt *RT) Fork(id int, fn ThreadFunc) error {
+	return rt.forkOn(-1, id, fn)
+}
+
+// ForkOn is Fork onto a specific cluster node: the kernel migrates the
+// caller there and creates the thread with that node as its home (§3.3).
+func (rt *RT) ForkOn(node, id int, fn ThreadFunc) error {
+	return rt.forkOn(node, id, fn)
+}
+
+func (rt *RT) forkOn(node, id int, fn ThreadFunc) error {
+	base, size := rt.base, rt.size
+	entry := func(env *kernel.Env) {
+		t := &Thread{RT: child(env, base, size), ID: id}
+		env.SetRet(fn(t))
+	}
+	return rt.env.Put(rt.ref(node, id), kernel.PutOpts{
+		Regs:  &kernel.Regs{Entry: entry, Arg: uint64(id)},
+		Copy:  &kernel.CopyRange{Src: rt.base, Dst: rt.base, Size: rt.size},
+		Snap:  true,
+		Start: true,
+	})
+}
+
+// ConflictError wraps a merge conflict detected while joining a thread.
+type ConflictError struct {
+	ThreadID int
+	Cause    *vm.MergeConflictError
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("core: joining thread %d: %v", e.ThreadID, e.Cause)
+}
+
+func (e *ConflictError) Unwrap() error { return e.Cause }
+
+// ThreadCrashError reports a thread that stopped on a fault or exception.
+type ThreadCrashError struct {
+	ThreadID int
+	Status   kernel.Status
+	Cause    error
+}
+
+func (e *ThreadCrashError) Error() string {
+	return fmt.Sprintf("core: thread %d crashed (%v): %v", e.ThreadID, e.Status, e.Cause)
+}
+
+func (e *ThreadCrashError) Unwrap() error { return e.Cause }
+
+// Join waits for thread id, merges its shared-region changes into the
+// caller's replica, and returns the thread's result value. Write/write
+// conflicts surface as *ConflictError — deterministically, independent of
+// how execution was scheduled.
+func (rt *RT) Join(id int) (uint64, error) {
+	return rt.joinOn(-1, id)
+}
+
+// JoinOn joins a thread forked with ForkOn.
+func (rt *RT) JoinOn(node, id int) (uint64, error) {
+	return rt.joinOn(node, id)
+}
+
+func (rt *RT) joinOn(node, id int) (uint64, error) {
+	info, err := rt.env.Get(rt.ref(node, id), kernel.GetOpts{
+		Regs:       true,
+		Merge:      true,
+		MergeRange: &kernel.Range{Addr: rt.base, Size: rt.size},
+	})
+	if err != nil {
+		var mc *vm.MergeConflictError
+		if errors.As(err, &mc) {
+			return 0, &ConflictError{ThreadID: id, Cause: mc}
+		}
+		return 0, err
+	}
+	switch info.Status {
+	case kernel.StatusHalted, kernel.StatusRet:
+		return info.Regs.Ret, nil
+	default:
+		return 0, &ThreadCrashError{ThreadID: id, Status: info.Status, Cause: info.Err}
+	}
+}
+
+// ParallelDo forks threads 0..n-1 running fn and joins them all,
+// returning their results. The first error (conflict or crash) aborts
+// with that error after all threads have been collected.
+func (rt *RT) ParallelDo(n int, fn ThreadFunc) ([]uint64, error) {
+	for i := 0; i < n; i++ {
+		if err := rt.Fork(i, fn); err != nil {
+			return nil, err
+		}
+	}
+	res := make([]uint64, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		v, err := rt.Join(i)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		res[i] = v
+	}
+	return res, firstErr
+}
+
+// Barrier, called from a thread, stops the thread until the parent
+// completes a BarrierRound: the thread's changes so far are merged into
+// the parent's replica and the thread resumes with a fresh snapshot of
+// the combined state (§4.4, the OpenMP-style data-parallel foundation).
+func (t *Thread) Barrier() {
+	t.env.Ret()
+}
+
+// BarrierRound, called by the parent, collects every listed thread at its
+// Barrier (merging changes), then redistributes the combined state and
+// resumes the threads. A thread that halts instead of reaching the
+// barrier stays halted; its final merge still occurs.
+func (rt *RT) BarrierRound(ids []int) error {
+	for _, id := range ids {
+		info, err := rt.env.Get(rt.ref(-1, id), kernel.GetOpts{
+			Merge:      true,
+			MergeRange: &kernel.Range{Addr: rt.base, Size: rt.size},
+		})
+		if err != nil {
+			var mc *vm.MergeConflictError
+			if errors.As(err, &mc) {
+				return &ConflictError{ThreadID: id, Cause: mc}
+			}
+			return err
+		}
+		if info.Status == kernel.StatusFault || info.Status == kernel.StatusExcept {
+			return &ThreadCrashError{ThreadID: id, Status: info.Status, Cause: info.Err}
+		}
+	}
+	for _, id := range ids {
+		ref := rt.ref(-1, id)
+		if err := rt.env.Put(ref, kernel.PutOpts{
+			Copy: &kernel.CopyRange{Src: rt.base, Dst: rt.base, Size: rt.size},
+			Snap: true,
+		}); err != nil {
+			return err
+		}
+		// Only resume threads parked at a barrier; halted ones are done.
+		info, err := rt.env.Get(ref, kernel.GetOpts{})
+		if err != nil {
+			return err
+		}
+		if info.Status == kernel.StatusRet {
+			if err := rt.env.Put(ref, kernel.PutOpts{Start: true}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunPhases runs n persistent threads through a sequence of phases
+// separated by barriers: the lock-step structure of Figure 1 and of the
+// fft/lu benchmarks. fn must call no barrier itself; the runtime inserts
+// one after every phase except the last.
+func (rt *RT) RunPhases(n, phases int, fn func(t *Thread, phase int)) error {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	for i := 0; i < n; i++ {
+		if err := rt.Fork(i, func(t *Thread) uint64 {
+			for p := 0; p < phases; p++ {
+				fn(t, p)
+				if p < phases-1 {
+					t.Barrier()
+				}
+			}
+			return 0
+		}); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < phases-1; p++ {
+		if err := rt.BarrierRound(ids); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if _, err := rt.Join(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options configures a Run.
+type Options struct {
+	Kernel     kernel.Config
+	SharedSize uint64
+}
+
+// Run builds a machine, runs main as its root program with a fresh
+// runtime, and returns the result — the quickest way to execute a
+// deterministic parallel program.
+func Run(opts Options, main func(rt *RT) uint64) kernel.RunResult {
+	m := kernel.New(opts.Kernel)
+	return m.Run(func(env *kernel.Env) {
+		rt := New(env, opts.SharedSize)
+		env.SetRet(main(rt))
+	}, 0)
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+func runMain(t *testing.T, main func(rt *RT) uint64) kernel.RunResult {
+	t.Helper()
+	res := Run(Options{Kernel: kernel.Config{CPUsPerNode: 4}}, main)
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("main stopped with %v: %v", res.Status, res.Err)
+	}
+	return res
+}
+
+func TestSwapIsRaceFree(t *testing.T) {
+	// The paper's §2.2 example: one thread runs x = y while another runs
+	// y = x. Under the private workspace model this always swaps.
+	res := runMain(t, func(rt *RT) uint64 {
+		x := rt.Alloc(4, 0)
+		y := rt.Alloc(4, 0)
+		rt.Env().WriteU32(x, 111)
+		rt.Env().WriteU32(y, 222)
+		if err := rt.Fork(0, func(th *Thread) uint64 {
+			th.Env().WriteU32(x, th.Env().ReadU32(y)) // x = y
+			return 0
+		}); err != nil {
+			panic(err)
+		}
+		if err := rt.Fork(1, func(th *Thread) uint64 {
+			th.Env().WriteU32(y, th.Env().ReadU32(x)) // y = x
+			return 0
+		}); err != nil {
+			panic(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := rt.Join(i); err != nil {
+				panic(err)
+			}
+		}
+		gx, gy := rt.Env().ReadU32(x), rt.Env().ReadU32(y)
+		if gx != 222 || gy != 111 {
+			panic("swap failed")
+		}
+		return uint64(gx)
+	})
+	if res.Ret != 222 {
+		t.Errorf("x after swap = %d, want 222", res.Ret)
+	}
+}
+
+// TestActorsFigure1 reproduces the paper's Figure 1: a lock-step "actors"
+// simulation where each child reads the prior state of all actors and
+// updates its own in place. Racy under conventional threads; exact here.
+func TestActorsFigure1(t *testing.T) {
+	const nactors = 16
+	const steps = 5
+	res := runMain(t, func(rt *RT) uint64 {
+		actors := rt.Alloc(4*nactors, 4)
+		env := rt.Env()
+		init := make([]uint32, nactors)
+		for i := range init {
+			init[i] = uint32(i)
+		}
+		env.WriteU32s(actors, init)
+
+		for time := 0; time < steps; time++ {
+			for i := 0; i < nactors; i++ {
+				i := i
+				if err := rt.Fork(i, func(th *Thread) uint64 {
+					// Examine the state of neighbouring actors...
+					all := make([]uint32, nactors)
+					th.Env().ReadU32s(actors, all)
+					left := all[(i+nactors-1)%nactors]
+					right := all[(i+1)%nactors]
+					// ...and update our own actor in place.
+					th.Env().WriteU32(actors+vm.Addr(4*i), left+right)
+					return 0
+				}); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < nactors; i++ {
+				if _, err := rt.Join(i); err != nil {
+					panic(err)
+				}
+			}
+		}
+
+		// Sequential reference computation.
+		ref := make([]uint32, nactors)
+		for i := range ref {
+			ref[i] = uint32(i)
+		}
+		for time := 0; time < steps; time++ {
+			next := make([]uint32, nactors)
+			for i := range ref {
+				next[i] = ref[(i+nactors-1)%nactors] + ref[(i+1)%nactors]
+			}
+			ref = next
+		}
+		got := make([]uint32, nactors)
+		env.ReadU32s(actors, got)
+		for i := range ref {
+			if got[i] != ref[i] {
+				panic("actor state diverged from sequential reference")
+			}
+		}
+		return 1
+	})
+	if res.Ret != 1 {
+		t.Fail()
+	}
+}
+
+func TestWriteWriteConflictDetected(t *testing.T) {
+	runMain(t, func(rt *RT) uint64 {
+		slot := rt.Alloc(4, 0)
+		for i := 0; i < 2; i++ {
+			i := i
+			if err := rt.Fork(i, func(th *Thread) uint64 {
+				th.Env().WriteU32(slot, uint32(100+i))
+				return 0
+			}); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := rt.Join(0); err != nil {
+			panic("first join must succeed: " + err.Error())
+		}
+		_, err := rt.Join(1)
+		var ce *ConflictError
+		if !errors.As(err, &ce) {
+			panic("conflict not detected at second join")
+		}
+		if ce.ThreadID != 1 {
+			panic("conflict attributed to wrong thread")
+		}
+		return 1
+	})
+}
+
+func TestParentChildConflictDetected(t *testing.T) {
+	runMain(t, func(rt *RT) uint64 {
+		slot := rt.Alloc(4, 0)
+		if err := rt.Fork(0, func(th *Thread) uint64 {
+			th.Env().WriteU32(slot, 1)
+			return 0
+		}); err != nil {
+			panic(err)
+		}
+		rt.Env().WriteU32(slot, 2) // parent writes the same byte concurrently
+		_, err := rt.Join(0)
+		var ce *ConflictError
+		if !errors.As(err, &ce) {
+			panic("parent/child conflict not detected")
+		}
+		return 1
+	})
+}
+
+func TestJoinReturnsThreadValue(t *testing.T) {
+	runMain(t, func(rt *RT) uint64 {
+		results, err := rt.ParallelDo(4, func(th *Thread) uint64 {
+			return uint64(th.ID * th.ID)
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i, r := range results {
+			if r != uint64(i*i) {
+				panic("future result wrong")
+			}
+		}
+		return 1
+	})
+}
+
+func TestThreadCrashReported(t *testing.T) {
+	runMain(t, func(rt *RT) uint64 {
+		if err := rt.Fork(0, func(th *Thread) uint64 {
+			th.Env().ReadU32(0xdeadf000) // unmapped: faults
+			return 0
+		}); err != nil {
+			panic(err)
+		}
+		_, err := rt.Join(0)
+		var tc *ThreadCrashError
+		if !errors.As(err, &tc) {
+			panic("crash not reported")
+		}
+		if tc.Status != kernel.StatusFault {
+			panic("wrong crash status")
+		}
+		return 1
+	})
+}
+
+func TestNestedForks(t *testing.T) {
+	// A thread forks its own sub-threads (recursive parallelism).
+	res := runMain(t, func(rt *RT) uint64 {
+		arr := rt.Alloc(4*8, 4)
+		if err := rt.Fork(0, func(th *Thread) uint64 {
+			for j := 0; j < 2; j++ {
+				j := j
+				if err := th.Fork(j, func(g *Thread) uint64 {
+					for k := 0; k < 2; k++ {
+						idx := j*2 + k
+						g.Env().WriteU32(arr+vm.Addr(4*idx), uint32(idx+1))
+					}
+					return 0
+				}); err != nil {
+					panic(err)
+				}
+			}
+			for j := 0; j < 2; j++ {
+				if _, err := th.Join(j); err != nil {
+					panic(err)
+				}
+			}
+			return 0
+		}); err != nil {
+			panic(err)
+		}
+		if _, err := rt.Join(0); err != nil {
+			panic(err)
+		}
+		var sum uint64
+		vals := make([]uint32, 4)
+		rt.Env().ReadU32s(arr, vals)
+		for _, v := range vals {
+			sum += uint64(v)
+		}
+		return sum
+	})
+	if res.Ret != 1+2+3+4 {
+		t.Errorf("nested fork sum = %d, want 10", res.Ret)
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	// Each phase doubles every element; threads split the array. After
+	// each barrier, every thread must observe all other threads' updates.
+	const n = 4
+	const elems = 64
+	const phases = 3
+	res := runMain(t, func(rt *RT) uint64 {
+		arr := rt.Alloc(4*elems, 4)
+		vals := make([]uint32, elems)
+		for i := range vals {
+			vals[i] = 1
+		}
+		rt.Env().WriteU32s(arr, vals)
+		if err := rt.RunPhases(n, phases, func(th *Thread, phase int) {
+			lo, hi := th.ID*elems/n, (th.ID+1)*elems/n
+			buf := make([]uint32, hi-lo)
+			th.Env().ReadU32s(arr+vm.Addr(4*lo), buf)
+			// Cross-check a value owned by another thread: after a
+			// barrier it must reflect the previous phase.
+			other := (th.ID + 1) % n * elems / n
+			if got := th.Env().ReadU32(arr + vm.Addr(4*other)); got != 1<<uint(phase) {
+				panic("barrier did not propagate previous phase")
+			}
+			for i := range buf {
+				buf[i] *= 2
+			}
+			th.Env().WriteU32s(arr+vm.Addr(4*lo), buf)
+		}); err != nil {
+			panic(err)
+		}
+		return uint64(rt.Env().ReadU32(arr))
+	})
+	if res.Ret != 1<<phases {
+		t.Errorf("after %d doubling phases got %d, want %d", phases, res.Ret, 1<<phases)
+	}
+}
+
+func TestAllocDeterministicAndAligned(t *testing.T) {
+	addrs := func() []vm.Addr {
+		var out []vm.Addr
+		runMain(t, func(rt *RT) uint64 {
+			out = append(out, rt.Alloc(10, 0))
+			out = append(out, rt.Alloc(100, 64))
+			out = append(out, rt.AllocPages(2))
+			out = append(out, rt.Alloc(1, 0))
+			return 0
+		})
+		return out
+	}
+	a, b := addrs(), addrs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("allocation %d differs across runs: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	if a[1]%64 != 0 || a[2]%vm.PageSize != 0 {
+		t.Errorf("alignment violated: %#x %#x", a[1], a[2])
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	res := Run(Options{Kernel: kernel.Config{}, SharedSize: 4 << 20}, func(rt *RT) uint64 {
+		rt.Alloc(8<<20, 0) // larger than the region
+		return 0
+	})
+	if res.Status != kernel.StatusExcept {
+		t.Errorf("expected exception on exhaustion, got %v", res.Status)
+	}
+}
+
+// Property: for disjoint per-thread slices, the merged result equals the
+// sequential computation, for any thread count and size.
+func TestDisjointUpdateEquivalenceProperty(t *testing.T) {
+	f := func(n8 uint8, size8 uint8) bool {
+		n := int(n8%6) + 1
+		elems := int(size8%100) + n
+		var got []uint32
+		res := Run(Options{Kernel: kernel.Config{CPUsPerNode: 2}}, func(rt *RT) uint64 {
+			arr := rt.Alloc(uint64(4*elems), 4)
+			vals := make([]uint32, elems)
+			for i := range vals {
+				vals[i] = uint32(i)
+			}
+			rt.Env().WriteU32s(arr, vals)
+			if _, err := rt.ParallelDo(n, func(th *Thread) uint64 {
+				lo, hi := th.ID*elems/n, (th.ID+1)*elems/n
+				for i := lo; i < hi; i++ {
+					v := th.Env().ReadU32(arr + vm.Addr(4*i))
+					th.Env().WriteU32(arr+vm.Addr(4*i), v*v+1)
+				}
+				return 0
+			}); err != nil {
+				panic(err)
+			}
+			got = make([]uint32, elems)
+			rt.Env().ReadU32s(arr, got)
+			return 0
+		})
+		if res.Status != kernel.StatusHalted {
+			return false
+		}
+		for i := range got {
+			want := uint32(i)*uint32(i) + 1
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributedForkJoin(t *testing.T) {
+	// Threads on three different nodes all contribute to the shared
+	// region; results must be identical to the local run.
+	run := func(nodes int) []uint32 {
+		var got []uint32
+		res := Run(Options{Kernel: kernel.Config{Nodes: nodes}}, func(rt *RT) uint64 {
+			arr := rt.Alloc(4*12, 4)
+			for i := 0; i < 3; i++ {
+				i := i
+				node := i % nodes
+				if err := rt.ForkOn(node, i, func(th *Thread) uint64 {
+					for k := 0; k < 4; k++ {
+						idx := i*4 + k
+						th.Env().WriteU32(arr+vm.Addr(4*idx), uint32(idx*7))
+					}
+					return 0
+				}); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := rt.JoinOn(i%nodes, i); err != nil {
+					panic(err)
+				}
+			}
+			got = make([]uint32, 12)
+			rt.Env().ReadU32s(arr, got)
+			return 0
+		})
+		if res.Status != kernel.StatusHalted {
+			t.Fatalf("nodes=%d: %v %v", nodes, res.Status, res.Err)
+		}
+		return got
+	}
+	local, distributed := run(1), run(3)
+	for i := range local {
+		if local[i] != distributed[i] {
+			t.Fatalf("distribution changed results at %d: %d vs %d", i, local[i], distributed[i])
+		}
+	}
+}

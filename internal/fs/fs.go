@@ -1,0 +1,486 @@
+// Package fs implements Determinator's user-level shared file system
+// abstraction (§4.2–4.3 of the paper): every process holds a complete
+// replica of a logically shared, weakly consistent file system inside its
+// own address space, so the kernel's copy-on-write fork clones it for
+// free. Processes operate only on their private replica; at
+// synchronization points (wait, explicit sync) the parent runtime
+// reconciles a child's replica into its own using per-file versioning
+// in the style of Parker et al.'s mutual-inconsistency detection:
+//
+//   - files changed on only one side propagate to the other;
+//   - files changed on both sides conflict — the runtime keeps the
+//     parent's copy and marks the file conflicted, failing later opens;
+//   - append-only files (console, logs) merge by concatenating both
+//     sides' appended tails, so concurrent logging never conflicts.
+//
+// The on-"disk" format is a fixed-layout byte image (superblock, inode
+// table, extent area) manipulated exclusively through the owning space's
+// Env accessors: the file system is ordinary user-space memory, which is
+// exactly what makes it replicable, and also why a wild pointer write can
+// corrupt it — a trade-off the paper acknowledges.
+//
+// Like the paper's prototype, the file system is memory-only (no
+// persistence), capped by its in-space image size, and never garbage
+// collects freed extents.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// Image geometry. All offsets are relative to the FS base address.
+const (
+	// Magic identifies a formatted image.
+	Magic = 0xD37F5001
+
+	// DefaultBase is where the uproc runtime places the FS image: a
+	// 4 MiB-aligned address far from the shared-memory region.
+	DefaultBase vm.Addr = 0x8000_0000
+	// DefaultSize is the default image size (the paper's "file system
+	// size limited by address space" constraint, in miniature).
+	DefaultSize uint64 = 16 << 20
+
+	// NumInodes is the fixed number of inode slots.
+	NumInodes = 128
+	// MaxNameLen is the longest file name, including the terminating NUL.
+	MaxNameLen = 100
+
+	inodeSize  = 128
+	inodeTable = vm.PageSize // inode table starts at page 1
+	dataStart  = inodeTable + NumInodes*inodeSize
+
+	// Superblock field offsets.
+	sbMagic  = 0
+	sbCursor = 4 // extent bump cursor (relative to base)
+	sbSize   = 8 // total image size
+
+	// Inode field offsets.
+	iFlags       = 0
+	iVersion     = 4
+	iForkVersion = 8
+	iSize        = 12
+	iForkSize    = 16
+	iExtOff      = 20
+	iExtCap      = 24
+	iName        = 28
+)
+
+// Inode flag bits. A slot is in use if it is live or a tombstone;
+// tombstones record deletions so that reconciliation can propagate them
+// (they occupy their slot forever — a prototype limitation kept from the
+// paper's no-garbage-collection design).
+const (
+	flagExists     = 1 << 0 // live file
+	flagAppendOnly = 1 << 1
+	flagConflict   = 1 << 2
+	flagTomb       = 1 << 3 // deleted since some earlier version
+)
+
+// Errors returned by the file API.
+var (
+	ErrNotFound  = errors.New("fs: file not found")
+	ErrExists    = errors.New("fs: file already exists")
+	ErrConflict  = errors.New("fs: file has unresolved reconciliation conflict")
+	ErrNoSpace   = errors.New("fs: image full")
+	ErrNameTaken = errors.New("fs: no free inode")
+	ErrBadName   = errors.New("fs: invalid file name")
+)
+
+// FS is a handle on a file system image within the calling space's own
+// memory. It holds no state outside the image itself (except the
+// write-protection flag), so any number of handles may be attached to
+// the same image.
+type FS struct {
+	env     *kernel.Env
+	base    vm.Addr
+	size    uint64
+	protect bool
+}
+
+// SetProtect enables the hardening §4.2 suggests: the image is kept
+// read-only between file system operations, so a wild pointer write in a
+// buggy program faults instead of silently corrupting the file system —
+// restoring the Unix property that corruption requires calling write().
+func (f *FS) SetProtect(on bool) {
+	f.protect = on
+	if on {
+		f.env.SetPerm(f.base, f.size, vm.PermR)
+	} else {
+		f.env.SetPerm(f.base, f.size, vm.PermRW)
+	}
+}
+
+// unlock temporarily re-enables writes for one operation; the returned
+// function restores protection.
+func (f *FS) unlock() func() {
+	if !f.protect {
+		return func() {}
+	}
+	f.env.SetPerm(f.base, f.size, vm.PermRW)
+	return func() { f.env.SetPerm(f.base, f.size, vm.PermR) }
+}
+
+// Format initializes an empty image at base and returns a handle. The
+// caller must have mapped [base, base+size) read/write.
+func Format(env *kernel.Env, base vm.Addr, size uint64) *FS {
+	f := &FS{env: env, base: base, size: size}
+	f.pu32(sbMagic, Magic)
+	f.pu32(sbCursor, dataStart)
+	f.pu32(sbSize, uint32(size))
+	var zero [inodeSize]byte
+	for i := 0; i < NumInodes; i++ {
+		env.Write(base+vm.Addr(inodeTable+i*inodeSize), zero[:])
+	}
+	return f
+}
+
+// Attach returns a handle on an existing image (after fork or exec).
+func Attach(env *kernel.Env, base vm.Addr, size uint64) (*FS, error) {
+	f := &FS{env: env, base: base, size: size}
+	if f.gu32(sbMagic) != Magic {
+		return nil, fmt.Errorf("fs: no image at %#x", base)
+	}
+	return f, nil
+}
+
+// low-level image accessors (offsets relative to base)
+
+func (f *FS) gu32(off uint32) uint32      { return f.env.ReadU32(f.base + vm.Addr(off)) }
+func (f *FS) pu32(off uint32, v uint32)   { f.env.WriteU32(f.base+vm.Addr(off), v) }
+func (f *FS) gbytes(off uint32, p []byte) { f.env.Read(f.base+vm.Addr(off), p) }
+func (f *FS) pbytes(off uint32, p []byte) { f.env.Write(f.base+vm.Addr(off), p) }
+
+func inodeOff(ino int) uint32 { return uint32(inodeTable + ino*inodeSize) }
+
+func (f *FS) iGet(ino int, field uint32) uint32    { return f.gu32(inodeOff(ino) + field) }
+func (f *FS) iPut(ino int, field uint32, v uint32) { f.pu32(inodeOff(ino)+field, v) }
+
+func (f *FS) name(ino int) string {
+	var buf [MaxNameLen]byte
+	f.gbytes(inodeOff(ino)+iName, buf[:])
+	if i := strings.IndexByte(string(buf[:]), 0); i >= 0 {
+		return string(buf[:i])
+	}
+	return string(buf[:])
+}
+
+func (f *FS) setName(ino int, name string) {
+	var buf [MaxNameLen]byte
+	copy(buf[:], name)
+	f.pbytes(inodeOff(ino)+iName, buf[:])
+}
+
+// lookup finds the inode holding a live file named name, or -1.
+func (f *FS) lookup(name string) int {
+	for i := 0; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&flagExists != 0 && f.name(i) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookupAny finds the inode (live or tombstone) for name, or -1.
+func (f *FS) lookupAny(name string) int {
+	for i := 0; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&(flagExists|flagTomb) != 0 && f.name(i) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *FS) freeInode() int {
+	for i := 0; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&(flagExists|flagTomb) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocExtent reserves capacity bytes in the extent area using the bump
+// cursor. Extents are never reclaimed (the prototype's documented leak).
+func (f *FS) allocExtent(capacity uint32) (uint32, error) {
+	cur := f.gu32(sbCursor)
+	if uint64(cur)+uint64(capacity) > f.size {
+		return 0, ErrNoSpace
+	}
+	f.pu32(sbCursor, cur+capacity)
+	return cur, nil
+}
+
+func checkName(name string) error {
+	if name == "" || len(name) >= MaxNameLen {
+		return ErrBadName
+	}
+	return nil
+}
+
+// Create makes an empty regular file. Creating over a conflicted file
+// clears the conflict (the "fix the bug and re-run" recovery path).
+func (f *FS) Create(name string) error { return f.create(name, 0) }
+
+// CreateAppendOnly makes an empty append-only file: concurrent appends
+// from different processes merge rather than conflict (§4.3). The
+// runtime uses these for console and log streams.
+func (f *FS) CreateAppendOnly(name string) error { return f.create(name, flagAppendOnly) }
+
+func (f *FS) create(name string, extra uint32) error {
+	defer f.unlock()()
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if ino := f.lookupAny(name); ino >= 0 {
+		fl := f.iGet(ino, iFlags)
+		switch {
+		case fl&flagTomb != 0:
+			// Revive a deleted file: keep the version history so the
+			// re-creation reconciles as a change.
+			f.iPut(ino, iFlags, flagExists|extra)
+			f.iPut(ino, iSize, 0)
+			f.bump(ino)
+			return nil
+		case fl&flagConflict != 0:
+			// Re-creating a conflicted file resolves the conflict.
+			f.iPut(ino, iFlags, fl&^flagConflict|extra)
+			f.iPut(ino, iSize, 0)
+			f.bump(ino)
+			return nil
+		default:
+			return ErrExists
+		}
+	}
+	ino := f.freeInode()
+	if ino < 0 {
+		return ErrNameTaken
+	}
+	f.setName(ino, name)
+	f.iPut(ino, iFlags, flagExists|extra)
+	f.iPut(ino, iVersion, 1)
+	// ForkVersion 0 makes a freshly created file count as "changed since
+	// fork", so it propagates to the parent at reconciliation.
+	f.iPut(ino, iForkVersion, 0)
+	f.iPut(ino, iSize, 0)
+	f.iPut(ino, iForkSize, 0)
+	f.iPut(ino, iExtOff, 0)
+	f.iPut(ino, iExtCap, 0)
+	return nil
+}
+
+// bump marks the file modified by this replica.
+func (f *FS) bump(ino int) { f.iPut(ino, iVersion, f.iGet(ino, iVersion)+1) }
+
+// Unlink removes a file, leaving a tombstone so the deletion propagates
+// at reconciliation. Neither the slot nor the extent is reclaimed.
+func (f *FS) Unlink(name string) error {
+	defer f.unlock()()
+	ino := f.lookup(name)
+	if ino < 0 {
+		return ErrNotFound
+	}
+	f.iPut(ino, iFlags, flagTomb)
+	f.iPut(ino, iSize, 0)
+	f.bump(ino)
+	return nil
+}
+
+// Info describes a file.
+type Info struct {
+	Name       string
+	Size       int
+	Version    uint32
+	AppendOnly bool
+	Conflicted bool
+}
+
+// Stat reports a file's metadata. Conflicted files can be statted (the
+// conflict flag is how the caller finds out).
+func (f *FS) Stat(name string) (Info, error) {
+	ino := f.lookup(name)
+	if ino < 0 {
+		return Info{}, ErrNotFound
+	}
+	return f.statIno(ino), nil
+}
+
+func (f *FS) statIno(ino int) Info {
+	fl := f.iGet(ino, iFlags)
+	return Info{
+		Name:       f.name(ino),
+		Size:       int(f.iGet(ino, iSize)),
+		Version:    f.iGet(ino, iVersion),
+		AppendOnly: fl&flagAppendOnly != 0,
+		Conflicted: fl&flagConflict != 0,
+	}
+}
+
+// List returns the names of all files, sorted (a deterministic order, in
+// keeping with §2.4 — directory iteration must not leak timing).
+func (f *FS) List() []Info {
+	var out []Info
+	for i := 0; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&flagExists != 0 {
+			out = append(out, f.statIno(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ensureCap grows a file's extent to hold at least n bytes, copying the
+// current contents into the new extent.
+func (f *FS) ensureCap(ino int, n uint32) error {
+	cap0 := f.iGet(ino, iExtCap)
+	if n <= cap0 {
+		return nil
+	}
+	newCap := uint32(vm.PageSize)
+	for newCap < n {
+		newCap *= 2
+	}
+	off, err := f.allocExtent(newCap)
+	if err != nil {
+		return err
+	}
+	size := f.iGet(ino, iSize)
+	if size > 0 {
+		buf := make([]byte, size)
+		f.gbytes(f.iGet(ino, iExtOff), buf)
+		f.pbytes(off, buf)
+	}
+	f.iPut(ino, iExtOff, off)
+	f.iPut(ino, iExtCap, newCap)
+	return nil
+}
+
+// WriteAt writes p at byte offset off, growing the file as needed, and
+// bumps the file's version.
+func (f *FS) WriteAt(name string, off int, p []byte) error {
+	defer f.unlock()()
+	ino := f.lookup(name)
+	if ino < 0 {
+		return ErrNotFound
+	}
+	if f.iGet(ino, iFlags)&flagConflict != 0 {
+		return ErrConflict
+	}
+	end := uint32(off + len(p))
+	if err := f.ensureCap(ino, end); err != nil {
+		return err
+	}
+	if size := f.iGet(ino, iSize); uint32(off) > size {
+		// Writing past EOF leaves a hole, which must read as zeros even
+		// if the extent holds stale bytes from before a truncate.
+		zero := make([]byte, uint32(off)-size)
+		f.pbytes(f.iGet(ino, iExtOff)+size, zero)
+	}
+	f.pbytes(f.iGet(ino, iExtOff)+uint32(off), p)
+	if end > f.iGet(ino, iSize) {
+		f.iPut(ino, iSize, end)
+	}
+	f.bump(ino)
+	return nil
+}
+
+// Append writes p at end of file.
+func (f *FS) Append(name string, p []byte) error {
+	ino := f.lookup(name)
+	if ino < 0 {
+		return ErrNotFound
+	}
+	return f.WriteAt(name, int(f.iGet(ino, iSize)), p)
+}
+
+// ReadAt reads up to len(p) bytes at offset off, returning the count.
+func (f *FS) ReadAt(name string, off int, p []byte) (int, error) {
+	ino := f.lookup(name)
+	if ino < 0 {
+		return 0, ErrNotFound
+	}
+	if f.iGet(ino, iFlags)&flagConflict != 0 {
+		return 0, ErrConflict
+	}
+	size := int(f.iGet(ino, iSize))
+	if off >= size {
+		return 0, nil
+	}
+	n := len(p)
+	if off+n > size {
+		n = size - off
+	}
+	f.gbytes(f.iGet(ino, iExtOff)+uint32(off), p[:n])
+	return n, nil
+}
+
+// ReadFile returns a file's full contents.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	info, err := f.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	if info.Conflicted {
+		return nil, ErrConflict
+	}
+	buf := make([]byte, info.Size)
+	_, err = f.ReadAt(name, 0, buf)
+	return buf, err
+}
+
+// WriteFile replaces a file's contents, creating it if needed.
+func (f *FS) WriteFile(name string, p []byte) error {
+	if f.lookup(name) < 0 {
+		if err := f.Create(name); err != nil {
+			return err
+		}
+	}
+	if err := f.Truncate(name, 0); err != nil {
+		return err
+	}
+	return f.WriteAt(name, 0, p)
+}
+
+// Truncate sets a file's size to n (growing zero-filled if needed).
+func (f *FS) Truncate(name string, n int) error {
+	defer f.unlock()()
+	ino := f.lookup(name)
+	if ino < 0 {
+		return ErrNotFound
+	}
+	if f.iGet(ino, iFlags)&flagConflict != 0 {
+		return ErrConflict
+	}
+	if err := f.ensureCap(ino, uint32(n)); err != nil {
+		return err
+	}
+	old := int(f.iGet(ino, iSize))
+	if n > old {
+		zero := make([]byte, n-old)
+		f.pbytes(f.iGet(ino, iExtOff)+uint32(old), zero)
+	}
+	f.iPut(ino, iSize, uint32(n))
+	f.bump(ino)
+	return nil
+}
+
+// StampFork records, for every file, the version and size at this moment.
+// The runtime calls it in a child immediately after fork (and again after
+// a two-way sync); reconciliation later compares both replicas against
+// these recorded fork-time values to decide which side changed (the
+// degenerate two-replica version vector of Parker et al.).
+func (f *FS) StampFork() {
+	defer f.unlock()()
+	for i := 0; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&(flagExists|flagTomb) == 0 {
+			continue
+		}
+		f.iPut(i, iForkVersion, f.iGet(i, iVersion))
+		f.iPut(i, iForkSize, f.iGet(i, iSize))
+	}
+}

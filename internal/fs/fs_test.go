@@ -1,0 +1,414 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+const (
+	testBase vm.Addr = 0x0100_0000
+	testSize uint64  = 4 << 20
+	scratch  vm.Addr = 0x0200_0000
+)
+
+// withFS runs fn in a root space with a freshly formatted image.
+func withFS(t *testing.T, fn func(env *kernel.Env, f *FS)) {
+	t.Helper()
+	m := kernel.New(kernel.Config{})
+	res := m.Run(func(env *kernel.Env) {
+		env.SetPerm(testBase, testSize, vm.PermRW)
+		f := Format(env, testBase, testSize)
+		fn(env, f)
+	}, 0)
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("fs program stopped with %v: %v", res.Status, res.Err)
+	}
+}
+
+// forkImage simulates fork for the FS image inside a single space: copy
+// the image to a scratch address and stamp it, returning the child handle.
+func forkImage(t *testing.T, env *kernel.Env, f *FS) *FS {
+	env.SetPerm(scratch, testSize, vm.PermRW)
+	buf := make([]byte, testSize)
+	env.Read(testBase, buf)
+	env.Write(scratch, buf)
+	child, err := Attach(env, scratch, testSize)
+	if err != nil {
+		t.Errorf("attach child: %v", err)
+		panic(err)
+	}
+	child.StampFork()
+	return child
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("hello.txt"); err != nil {
+			panic(err)
+		}
+		if err := f.WriteAt("hello.txt", 0, []byte("hello world")); err != nil {
+			panic(err)
+		}
+		got, err := f.ReadFile("hello.txt")
+		if err != nil {
+			panic(err)
+		}
+		if string(got) != "hello world" {
+			panic("content mismatch: " + string(got))
+		}
+		info, err := f.Stat("hello.txt")
+		if err != nil || info.Size != 11 {
+			panic("stat mismatch")
+		}
+	})
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("a"); err != nil {
+			panic(err)
+		}
+		if err := f.Create("a"); !errors.Is(err, ErrExists) {
+			panic("duplicate create allowed")
+		}
+	})
+}
+
+func TestBadNamesRejected(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create(""); !errors.Is(err, ErrBadName) {
+			panic("empty name accepted")
+		}
+		long := make([]byte, MaxNameLen)
+		for i := range long {
+			long[i] = 'x'
+		}
+		if err := f.Create(string(long)); !errors.Is(err, ErrBadName) {
+			panic("overlong name accepted")
+		}
+	})
+}
+
+func TestUnlinkAndRecreate(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("f"); err != nil {
+			panic(err)
+		}
+		if err := f.WriteAt("f", 0, []byte("data")); err != nil {
+			panic(err)
+		}
+		if err := f.Unlink("f"); err != nil {
+			panic(err)
+		}
+		if _, err := f.Stat("f"); !errors.Is(err, ErrNotFound) {
+			panic("unlinked file still visible")
+		}
+		if err := f.Create("f"); err != nil {
+			panic(err)
+		}
+		got, err := f.ReadFile("f")
+		if err != nil || len(got) != 0 {
+			panic("revived file not empty")
+		}
+	})
+}
+
+func TestGrowAcrossExtents(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("big"); err != nil {
+			panic(err)
+		}
+		var want []byte
+		for i := 0; i < 20; i++ {
+			chunk := bytes.Repeat([]byte{byte('a' + i)}, 1000)
+			if err := f.Append("big", chunk); err != nil {
+				panic(err)
+			}
+			want = append(want, chunk...)
+		}
+		got, err := f.ReadFile("big")
+		if err != nil || !bytes.Equal(got, want) {
+			panic("content lost across extent growth")
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("t"); err != nil {
+			panic(err)
+		}
+		if err := f.WriteAt("t", 0, []byte("abcdef")); err != nil {
+			panic(err)
+		}
+		if err := f.Truncate("t", 3); err != nil {
+			panic(err)
+		}
+		got, _ := f.ReadFile("t")
+		if string(got) != "abc" {
+			panic("shrink failed")
+		}
+		if err := f.Truncate("t", 6); err != nil {
+			panic(err)
+		}
+		got, _ = f.ReadFile("t")
+		if !bytes.Equal(got, []byte{'a', 'b', 'c', 0, 0, 0}) {
+			panic("grow did not zero-fill")
+		}
+	})
+}
+
+func TestListSortedAndComplete(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		for _, n := range []string{"zeta", "alpha", "mid"} {
+			if err := f.Create(n); err != nil {
+				panic(err)
+			}
+		}
+		l := f.List()
+		if len(l) != 3 || l[0].Name != "alpha" || l[1].Name != "mid" || l[2].Name != "zeta" {
+			panic("list not sorted or incomplete")
+		}
+	})
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		var err error
+		for i := 0; i < NumInodes+1; i++ {
+			err = f.Create(string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)))
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, ErrNameTaken) {
+			panic("inode exhaustion not detected")
+		}
+	})
+}
+
+// --- reconciliation ---------------------------------------------------------
+
+func TestReconcileChildOnlyChange(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("out.o"); err != nil {
+			panic(err)
+		}
+		child := forkImage(t, env, f)
+		if err := child.WriteFile("out.o", []byte("object code")); err != nil {
+			panic(err)
+		}
+		conflicts, err := f.ReconcileFrom(child)
+		if err != nil || len(conflicts) != 0 {
+			panic("unexpected conflicts")
+		}
+		got, err := f.ReadFile("out.o")
+		if err != nil || string(got) != "object code" {
+			panic("child write did not propagate")
+		}
+	})
+}
+
+func TestReconcileChildCreatesFile(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		child := forkImage(t, env, f)
+		if err := child.Create("new.txt"); err != nil {
+			panic(err)
+		}
+		if err := child.WriteAt("new.txt", 0, []byte("fresh")); err != nil {
+			panic(err)
+		}
+		if _, err := f.ReconcileFrom(child); err != nil {
+			panic(err)
+		}
+		got, err := f.ReadFile("new.txt")
+		if err != nil || string(got) != "fresh" {
+			panic("created file did not propagate")
+		}
+	})
+}
+
+func TestReconcileChildDeletion(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("tmp"); err != nil {
+			panic(err)
+		}
+		child := forkImage(t, env, f)
+		if err := child.Unlink("tmp"); err != nil {
+			panic(err)
+		}
+		if _, err := f.ReconcileFrom(child); err != nil {
+			panic(err)
+		}
+		if _, err := f.Stat("tmp"); !errors.Is(err, ErrNotFound) {
+			panic("deletion did not propagate")
+		}
+	})
+}
+
+func TestReconcileParentOnlyChangeStands(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("cfg"); err != nil {
+			panic(err)
+		}
+		child := forkImage(t, env, f)
+		if err := f.WriteFile("cfg", []byte("parent")); err != nil {
+			panic(err)
+		}
+		conflicts, err := f.ReconcileFrom(child)
+		if err != nil || len(conflicts) != 0 {
+			panic("phantom conflict")
+		}
+		got, _ := f.ReadFile("cfg")
+		if string(got) != "parent" {
+			panic("parent change lost")
+		}
+	})
+}
+
+func TestReconcileConflictKeepsParentAndFlags(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("shared"); err != nil {
+			panic(err)
+		}
+		child := forkImage(t, env, f)
+		if err := f.WriteFile("shared", []byte("parent ver")); err != nil {
+			panic(err)
+		}
+		if err := child.WriteFile("shared", []byte("child ver")); err != nil {
+			panic(err)
+		}
+		conflicts, err := f.ReconcileFrom(child)
+		if err != nil {
+			panic(err)
+		}
+		if len(conflicts) != 1 || conflicts[0].Name != "shared" {
+			panic("conflict not reported")
+		}
+		// Subsequent opens fail (§4.2)...
+		if _, err := f.ReadFile("shared"); !errors.Is(err, ErrConflict) {
+			panic("conflicted file still readable")
+		}
+		// ...until the file is re-created, which resolves the conflict.
+		if err := f.Create("shared"); err != nil {
+			panic(err)
+		}
+		if _, err := f.ReadFile("shared"); err != nil {
+			panic("recreate did not clear conflict")
+		}
+	})
+}
+
+func TestReconcileAppendOnlyMergesBothSides(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.CreateAppendOnly("log"); err != nil {
+			panic(err)
+		}
+		if err := f.Append("log", []byte("base|")); err != nil {
+			panic(err)
+		}
+		child := forkImage(t, env, f)
+		if err := f.Append("log", []byte("parent|")); err != nil {
+			panic(err)
+		}
+		if err := child.Append("log", []byte("child|")); err != nil {
+			panic(err)
+		}
+		conflicts, err := f.ReconcileFrom(child)
+		if err != nil || len(conflicts) != 0 {
+			panic("append-only writes conflicted")
+		}
+		got, _ := f.ReadFile("log")
+		if string(got) != "base|parent|child|" {
+			panic("append merge wrong: " + string(got))
+		}
+	})
+}
+
+func TestReconcileTwoChildrenDisjointFiles(t *testing.T) {
+	// The parallel-make scenario: every child compiles its own .o file.
+	withFS(t, func(env *kernel.Env, f *FS) {
+		childA := forkImage(t, env, f)
+		// Second child image at a different scratch address.
+		env.SetPerm(scratch+0x0100_0000, testSize, vm.PermRW)
+		buf := make([]byte, testSize)
+		env.Read(testBase, buf)
+		env.Write(scratch+0x0100_0000, buf)
+		childB, err := Attach(env, scratch+0x0100_0000, testSize)
+		if err != nil {
+			panic(err)
+		}
+		childB.StampFork()
+
+		if err := childA.Create("a.o"); err != nil {
+			panic(err)
+		}
+		if err := childA.WriteAt("a.o", 0, []byte("AAA")); err != nil {
+			panic(err)
+		}
+		if err := childB.Create("b.o"); err != nil {
+			panic(err)
+		}
+		if err := childB.WriteAt("b.o", 0, []byte("BBB")); err != nil {
+			panic(err)
+		}
+		if _, err := f.ReconcileFrom(childA); err != nil {
+			panic(err)
+		}
+		if _, err := f.ReconcileFrom(childB); err != nil {
+			panic(err)
+		}
+		a, _ := f.ReadFile("a.o")
+		b, _ := f.ReadFile("b.o")
+		if string(a) != "AAA" || string(b) != "BBB" {
+			panic("disjoint outputs did not both propagate")
+		}
+	})
+}
+
+func TestReconcileTwoChildrenSameFileConflict(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Create("x.o"); err != nil {
+			panic(err)
+		}
+		childA := forkImage(t, env, f)
+		env.SetPerm(scratch+0x0100_0000, testSize, vm.PermRW)
+		buf := make([]byte, testSize)
+		env.Read(testBase, buf)
+		env.Write(scratch+0x0100_0000, buf)
+		childB, _ := Attach(env, scratch+0x0100_0000, testSize)
+		childB.StampFork()
+
+		if err := childA.WriteFile("x.o", []byte("A")); err != nil {
+			panic(err)
+		}
+		if err := childB.WriteFile("x.o", []byte("B")); err != nil {
+			panic(err)
+		}
+		c1, _ := f.ReconcileFrom(childA)
+		c2, _ := f.ReconcileFrom(childB)
+		if len(c1) != 0 {
+			panic("first child should merge cleanly")
+		}
+		if len(c2) != 1 || c2[0].Name != "x.o" {
+			panic("second child's divergent write not flagged")
+		}
+	})
+}
+
+func TestAttachRejectsUnformatted(t *testing.T) {
+	m := kernel.New(kernel.Config{})
+	res := m.Run(func(env *kernel.Env) {
+		env.SetPerm(testBase, testSize, vm.PermRW)
+		if _, err := Attach(env, testBase, testSize); err == nil {
+			panic("attach to unformatted region succeeded")
+		}
+	}, 0)
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("%v: %v", res.Status, res.Err)
+	}
+}

@@ -1,0 +1,177 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// Property test: the file system against a plain in-memory oracle.
+// Random sequences of create/write/append/truncate/unlink must leave the
+// image observably identical to a map of byte slices.
+func TestFSMatchesOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		m := kernel.New(kernel.Config{})
+		res := m.Run(func(env *kernel.Env) {
+			env.SetPerm(testBase, testSize, vm.PermRW)
+			fsys := Format(env, testBase, testSize)
+			oracle := map[string][]byte{}
+			rng := rand.New(rand.NewSource(seed))
+			names := []string{"a", "b", "c", "d"}
+
+			for op := 0; op < 120; op++ {
+				name := names[rng.Intn(len(names))]
+				_, exists := oracle[name]
+				switch rng.Intn(5) {
+				case 0: // create
+					err := fsys.Create(name)
+					if exists != (err != nil) {
+						ok = false // create must fail iff the file exists
+						return
+					}
+					if !exists {
+						oracle[name] = []byte{}
+					}
+				case 1: // write at random offset
+					if !exists {
+						continue
+					}
+					off := rng.Intn(200)
+					data := make([]byte, rng.Intn(100)+1)
+					rng.Read(data)
+					if err := fsys.WriteAt(name, off, data); err != nil {
+						ok = false
+						return
+					}
+					buf := oracle[name]
+					for len(buf) < off+len(data) {
+						buf = append(buf, 0)
+					}
+					copy(buf[off:], data)
+					oracle[name] = buf
+				case 2: // append
+					if !exists {
+						continue
+					}
+					data := make([]byte, rng.Intn(60)+1)
+					rng.Read(data)
+					if err := fsys.Append(name, data); err != nil {
+						ok = false
+						return
+					}
+					oracle[name] = append(oracle[name], data...)
+				case 3: // truncate
+					if !exists {
+						continue
+					}
+					n := rng.Intn(150)
+					if err := fsys.Truncate(name, n); err != nil {
+						ok = false
+						return
+					}
+					buf := oracle[name]
+					for len(buf) < n {
+						buf = append(buf, 0)
+					}
+					oracle[name] = buf[:n]
+				case 4: // unlink
+					err := fsys.Unlink(name)
+					if exists == (err != nil) {
+						ok = false // unlink must succeed iff the file exists
+						return
+					}
+					delete(oracle, name)
+				}
+			}
+
+			// Compare the full observable state.
+			listed := fsys.List()
+			if len(listed) != len(oracle) {
+				ok = false
+				return
+			}
+			for _, info := range listed {
+				want, exists := oracle[info.Name]
+				if !exists {
+					ok = false
+					return
+				}
+				got, err := fsys.ReadFile(info.Name)
+				if err != nil || !bytes.Equal(got, want) {
+					ok = false
+					return
+				}
+			}
+		}, 0)
+		if res.Status != kernel.StatusHalted {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reconciliation of children with disjoint file sets is
+// conflict-free and the parent ends with the union, regardless of count.
+func TestReconcileUnionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		m := kernel.New(kernel.Config{})
+		res := m.Run(func(env *kernel.Env) {
+			env.SetPerm(testBase, testSize, vm.PermRW)
+			parent := Format(env, testBase, testSize)
+			rng := rand.New(rand.NewSource(seed))
+			nChildren := rng.Intn(3) + 2
+
+			expected := map[string]string{}
+			for c := 0; c < nChildren; c++ {
+				// Clone the parent image to a scratch area.
+				scratchAt := scratch + vm.Addr(c)*0x0100_0000
+				env.SetPerm(scratchAt, testSize, vm.PermRW)
+				buf := make([]byte, testSize)
+				env.Read(testBase, buf)
+				env.Write(scratchAt, buf)
+				child, err := Attach(env, scratchAt, testSize)
+				if err != nil {
+					ok = false
+					return
+				}
+				child.StampFork()
+				// Child writes its own files.
+				for k := 0; k < rng.Intn(4)+1; k++ {
+					name := fmt.Sprintf("c%d-f%d", c, k)
+					content := fmt.Sprintf("content-%d-%d-%d", c, k, rng.Intn(1000))
+					if err := child.WriteFile(name, []byte(content)); err != nil {
+						ok = false
+						return
+					}
+					expected[name] = content
+				}
+				conflicts, err := parent.ReconcileFrom(child)
+				if err != nil || len(conflicts) != 0 {
+					ok = false
+					return
+				}
+			}
+			for name, want := range expected {
+				got, err := parent.ReadFile(name)
+				if err != nil || string(got) != want {
+					ok = false
+					return
+				}
+			}
+		}, 0)
+		return res.Status == kernel.StatusHalted && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package fs
+
+import "fmt"
+
+// Conflict names a file whose reconciliation found changes on both sides.
+type Conflict struct {
+	Name string
+}
+
+func (c Conflict) String() string { return fmt.Sprintf("conflict(%s)", c.Name) }
+
+// ReconcileFrom folds the changes a child replica made since its fork
+// stamp into this (the parent's) replica. Both images must live in the
+// same address space: the runtime Get-Copies the child's file system
+// region into a scratch area of the parent space first, exactly as §4.2
+// describes, then attaches an FS handle to the scratch copy.
+//
+// Per-file outcome, comparing each side's version against the child's
+// recorded fork version (the common ancestor):
+//
+//   - child unchanged            → parent's copy stands;
+//   - only child changed         → child's copy (or deletion) is adopted;
+//   - both changed, append-only  → the child's appended tail is
+//     concatenated onto the parent's copy; never a conflict;
+//   - both changed otherwise     → the parent's copy stands, the file is
+//     marked conflicted, and the conflict is reported.
+//
+// After reconciliation the parent either discards the child replica
+// (wait) or pushes its merged image back to the child, which must then
+// StampFork again (two-way sync).
+func (f *FS) ReconcileFrom(child *FS) ([]Conflict, error) {
+	defer f.unlock()()
+	var conflicts []Conflict
+	for ino := 0; ino < NumInodes; ino++ {
+		cf := child.iGet(ino, iFlags)
+		if cf&(flagExists|flagTomb) == 0 {
+			continue
+		}
+		name := child.name(ino)
+		childChanged := child.iGet(ino, iVersion) != child.iGet(ino, iForkVersion)
+		if !childChanged {
+			continue // parent's state stands, whatever it is
+		}
+		pIno := f.lookupAny(name)
+		parentChanged := true
+		if pIno >= 0 {
+			parentChanged = f.iGet(pIno, iVersion) != child.iGet(ino, iForkVersion)
+		} else if child.iGet(ino, iForkVersion) == 0 {
+			// New in the child, never seen by the parent.
+			parentChanged = false
+		}
+
+		switch {
+		case !parentChanged:
+			if err := f.adopt(pIno, child, ino); err != nil {
+				return conflicts, err
+			}
+		case cf&flagExists != 0 && pIno >= 0 &&
+			cf&flagAppendOnly != 0 && f.iGet(pIno, iFlags)&flagAppendOnly != 0 &&
+			f.iGet(pIno, iFlags)&flagExists != 0:
+			if err := f.mergeAppends(pIno, child, ino); err != nil {
+				return conflicts, err
+			}
+		default:
+			// True divergence: keep the parent's copy, flag the file.
+			if pIno >= 0 {
+				f.iPut(pIno, iFlags, f.iGet(pIno, iFlags)|flagConflict)
+				f.bump(pIno)
+			} else {
+				// Parent deleted (slot gone entirely is impossible with
+				// tombstones, but handle it): recreate as conflicted.
+				if err := f.create(name, flagConflict); err != nil {
+					return conflicts, err
+				}
+			}
+			conflicts = append(conflicts, Conflict{Name: name})
+		}
+	}
+	return conflicts, nil
+}
+
+// adopt replaces the parent's state for one file with the child's
+// (including adoption of a deletion). pIno may be -1 if the parent has no
+// slot for the name yet.
+func (f *FS) adopt(pIno int, child *FS, cIno int) error {
+	name := child.name(cIno)
+	cf := child.iGet(cIno, iFlags)
+	if cf&flagExists == 0 {
+		// Child deleted the file.
+		if pIno >= 0 && f.iGet(pIno, iFlags)&flagExists != 0 {
+			f.iPut(pIno, iFlags, flagTomb)
+			f.iPut(pIno, iSize, 0)
+			f.iPut(pIno, iVersion, child.iGet(cIno, iVersion))
+		}
+		return nil
+	}
+	if pIno < 0 {
+		pIno = f.freeInode()
+		if pIno < 0 {
+			return ErrNameTaken
+		}
+		f.setName(pIno, name)
+		f.iPut(pIno, iExtOff, 0)
+		f.iPut(pIno, iExtCap, 0)
+		f.iPut(pIno, iForkVersion, 0)
+		f.iPut(pIno, iForkSize, 0)
+	}
+	f.iPut(pIno, iFlags, flagExists|(cf&flagAppendOnly))
+	size := child.iGet(cIno, iSize)
+	if err := f.ensureCap(pIno, size); err != nil {
+		return err
+	}
+	if size > 0 {
+		buf := make([]byte, size)
+		child.gbytes(child.iGet(cIno, iExtOff), buf)
+		f.pbytes(f.iGet(pIno, iExtOff), buf)
+	}
+	f.iPut(pIno, iSize, size)
+	f.iPut(pIno, iVersion, child.iGet(cIno, iVersion))
+	return nil
+}
+
+// mergeAppends handles the append-only case of §4.3: both sides appended,
+// so the parent keeps its own content and concatenates the bytes the
+// child wrote since the fork. Each replica thus accumulates all writers'
+// output, though different replicas may see different interleavings.
+func (f *FS) mergeAppends(pIno int, child *FS, cIno int) error {
+	forkSize := child.iGet(cIno, iForkSize)
+	childSize := child.iGet(cIno, iSize)
+	if childSize <= forkSize {
+		return nil // nothing actually appended (e.g. metadata-only change)
+	}
+	tail := make([]byte, childSize-forkSize)
+	child.gbytes(child.iGet(cIno, iExtOff)+forkSize, tail)
+	pSize := f.iGet(pIno, iSize)
+	if err := f.ensureCap(pIno, pSize+uint32(len(tail))); err != nil {
+		return err
+	}
+	f.pbytes(f.iGet(pIno, iExtOff)+pSize, tail)
+	f.iPut(pIno, iSize, pSize+uint32(len(tail)))
+	v := f.iGet(pIno, iVersion)
+	if cv := child.iGet(cIno, iVersion); cv > v {
+		v = cv
+	}
+	f.iPut(pIno, iVersion, v+1)
+	return nil
+}

@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"repro/internal/vm"
+)
+
+// Env is a space's execution environment: its private memory, instruction
+// accounting, and the three system calls. It is the only capability user
+// code receives, which is what lets the kernel enforce determinism even on
+// adversarial programs — there is nothing else to reach for.
+//
+// Memory accessors fault (terminating the space with StatusFault) on
+// access violations, mirroring processor traps; they do not return errors.
+// Each accessor also advances the instruction counter by one tick per
+// eight bytes touched, so memory-bound work is charged to virtual time
+// without manual ticking.
+type Env struct {
+	sp *Space
+}
+
+// --- identity and registers -------------------------------------------------
+
+// Arg returns the argument word loaded into this space's registers.
+func (e *Env) Arg() uint64 { return e.sp.regs.Arg }
+
+// SetRet stores a result word in this space's registers, where the parent
+// can read it with Get(Regs) — the EAX-on-exit convention.
+func (e *Env) SetRet(v uint64) { e.sp.regs.Ret = v }
+
+// IsRoot reports whether this is the root space (the only space with
+// device access).
+func (e *Env) IsRoot() bool { return e.sp.parent == nil }
+
+// NodeID reports the cluster node the space currently executes on.
+func (e *Env) NodeID() int { return e.sp.node.id }
+
+// HomeNodeID reports the node the space was created on.
+func (e *Env) HomeNodeID() int { return e.sp.home.id }
+
+// Nodes reports the cluster size.
+func (e *Env) Nodes() int { return len(e.sp.m.nodes) }
+
+// Insns returns the number of instructions this space has executed.
+func (e *Env) Insns() int64 { return e.sp.insns }
+
+// VT returns the space's virtual clock. The value is deterministic (it
+// depends only on program behaviour and the cost model), so exposing it
+// does not break determinism; the evaluation harness reads it through the
+// root space.
+func (e *Env) VT() int64 { return e.sp.vt }
+
+// --- instruction accounting --------------------------------------------------
+
+// Tick advances the instruction counter by n, modelling n instructions of
+// computation. If an instruction limit is armed and the counter crosses
+// it, the space traps back to its parent (StatusInsnLimit) and resumes
+// here when restarted.
+func (e *Env) Tick(n int64) {
+	sp := e.sp
+	sp.insns += n
+	sp.vt += n
+	if sp.limit > 0 && sp.insns >= sp.limit && sp.critical == 0 {
+		sp.park(StatusInsnLimit)
+	}
+}
+
+// NoPreempt runs f with instruction-limit preemption suppressed, then
+// re-checks the limit. The deterministic scheduler uses it to make
+// synchronization primitives atomic with respect to quantum expiry (the
+// paper's kernel achieves this by resuming preempted primitives inside
+// the master space; with native code we instead exclude the preemption
+// point, which is equivalent because preemption can only happen at ticks).
+func (e *Env) NoPreempt(f func()) {
+	sp := e.sp
+	sp.critical++
+	defer func() {
+		sp.critical--
+		if sp.critical == 0 && sp.limit > 0 && sp.insns >= sp.limit {
+			sp.park(StatusInsnLimit)
+		}
+	}()
+	f()
+}
+
+// --- system calls -------------------------------------------------------------
+
+// Put performs state operations on a child space and optionally starts it
+// (Table 1/2). It blocks until the child is stopped.
+func (e *Env) Put(ref uint64, o PutOpts) error { return e.sp.put(ref, o) }
+
+// Get performs state operations that move child state toward the parent,
+// blocking until the child is stopped. A merge conflict is returned as a
+// *vm.MergeConflictError.
+func (e *Env) Get(ref uint64, o GetOpts) (ChildInfo, error) { return e.sp.get(ref, o) }
+
+// Ret stops the calling space and returns control to its parent; the
+// space resumes here when the parent next issues a Put with Start.
+func (e *Env) Ret() {
+	e.sp.chargeVT(e.sp.m.cost.Syscall)
+	e.sp.park(StatusRet)
+}
+
+// Halt stops the calling space permanently by unwinding its program.
+func (e *Env) Halt() { panic(haltSignal{}) }
+
+type haltSignal struct{}
+
+// --- memory -------------------------------------------------------------------
+
+func (e *Env) memTick(bytes int) { e.Tick(int64(bytes+7) / 8) }
+
+func (e *Env) fault(err error) {
+	if err == nil {
+		return
+	}
+	panic(err)
+}
+
+// Read copies memory from the space into p, faulting on access violations.
+func (e *Env) Read(addr vm.Addr, p []byte) {
+	e.memTick(len(p))
+	e.sp.touchPages(addr, len(p), false)
+	e.fault(e.sp.mem.Read(addr, p))
+}
+
+// Write copies p into the space's memory, faulting on access violations.
+func (e *Env) Write(addr vm.Addr, p []byte) {
+	e.memTick(len(p))
+	e.sp.touchPages(addr, len(p), true)
+	e.fault(e.sp.mem.Write(addr, p))
+}
+
+// ReadU32 loads a little-endian uint32.
+func (e *Env) ReadU32(addr vm.Addr) uint32 {
+	e.memTick(4)
+	e.sp.touchPages(addr, 4, false)
+	v, err := e.sp.mem.ReadU32(addr)
+	e.fault(err)
+	return v
+}
+
+// WriteU32 stores a little-endian uint32.
+func (e *Env) WriteU32(addr vm.Addr, v uint32) {
+	e.memTick(4)
+	e.sp.touchPages(addr, 4, true)
+	e.fault(e.sp.mem.WriteU32(addr, v))
+}
+
+// ReadU64 loads a little-endian uint64.
+func (e *Env) ReadU64(addr vm.Addr) uint64 {
+	e.memTick(8)
+	e.sp.touchPages(addr, 8, false)
+	v, err := e.sp.mem.ReadU64(addr)
+	e.fault(err)
+	return v
+}
+
+// WriteU64 stores a little-endian uint64.
+func (e *Env) WriteU64(addr vm.Addr, v uint64) {
+	e.memTick(8)
+	e.sp.touchPages(addr, 8, true)
+	e.fault(e.sp.mem.WriteU64(addr, v))
+}
+
+// ReadF64 loads a float64.
+func (e *Env) ReadF64(addr vm.Addr) float64 {
+	e.memTick(8)
+	e.sp.touchPages(addr, 8, false)
+	v, err := e.sp.mem.ReadF64(addr)
+	e.fault(err)
+	return v
+}
+
+// WriteF64 stores a float64.
+func (e *Env) WriteF64(addr vm.Addr, v float64) {
+	e.memTick(8)
+	e.sp.touchPages(addr, 8, true)
+	e.fault(e.sp.mem.WriteF64(addr, v))
+}
+
+// ReadU32s bulk-loads little-endian uint32s.
+func (e *Env) ReadU32s(addr vm.Addr, dst []uint32) {
+	e.memTick(4 * len(dst))
+	e.sp.touchPages(addr, 4*len(dst), false)
+	e.fault(e.sp.mem.ReadU32s(addr, dst))
+}
+
+// WriteU32s bulk-stores little-endian uint32s.
+func (e *Env) WriteU32s(addr vm.Addr, src []uint32) {
+	e.memTick(4 * len(src))
+	e.sp.touchPages(addr, 4*len(src), true)
+	e.fault(e.sp.mem.WriteU32s(addr, src))
+}
+
+// ReadF64s bulk-loads float64s.
+func (e *Env) ReadF64s(addr vm.Addr, dst []float64) {
+	e.memTick(8 * len(dst))
+	e.sp.touchPages(addr, 8*len(dst), false)
+	e.fault(e.sp.mem.ReadF64s(addr, dst))
+}
+
+// WriteF64s bulk-stores float64s.
+func (e *Env) WriteF64s(addr vm.Addr, src []float64) {
+	e.memTick(8 * len(src))
+	e.sp.touchPages(addr, 8*len(src), true)
+	e.fault(e.sp.mem.WriteF64s(addr, src))
+}
+
+// SetPerm adjusts page permissions within the space's own memory: the
+// analogue of the runtime's self-management of its address space layout.
+func (e *Env) SetPerm(addr vm.Addr, size uint64, perm vm.Perm) {
+	e.fault(e.sp.mem.SetPerm(addr, size, perm))
+}
+
+// Zero zero-fills a page-aligned range of the space's own memory.
+func (e *Env) Zero(addr vm.Addr, size uint64, perm vm.Perm) {
+	e.fault(e.sp.mem.Zero(addr, size, perm))
+}
+
+// --- devices (root space only, §3.1) -------------------------------------------
+
+func (e *Env) requireRoot(op string) {
+	if !e.IsRoot() {
+		panic(kerr(op, "device access from non-root space"))
+	}
+}
+
+// ConsoleRead reads available console input (root only). It returns 0
+// when no input is pending; the caller decides how to wait.
+func (e *Env) ConsoleRead(p []byte) int {
+	e.requireRoot("console-read")
+	return e.sp.m.console.read(p)
+}
+
+// ConsoleWrite writes console output (root only).
+func (e *Env) ConsoleWrite(p []byte) {
+	e.requireRoot("console-write")
+	e.sp.m.console.write(p)
+}
+
+// ClockNow reads the machine's clock device (root only): an explicit
+// nondeterministic input in the sense of §2.1.
+func (e *Env) ClockNow() int64 {
+	e.requireRoot("clock")
+	return e.sp.m.clock()
+}
+
+// RandUint64 reads the machine's entropy device (root only).
+func (e *Env) RandUint64() uint64 {
+	e.requireRoot("rand")
+	return e.sp.m.rand()
+}

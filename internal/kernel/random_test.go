@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+// Randomized whole-kernel property: arbitrary fork/join trees with
+// disjoint write sets must (a) equal a sequential model of the same
+// writes, and (b) produce identical memory and virtual time on every
+// run. This is the Kahn-network determinism argument, tested rather
+// than asserted.
+
+// treePlan describes a random fork tree. Each node owns a disjoint
+// region of a shared page array determined by its path.
+type treePlan struct {
+	seed  int64
+	depth int
+	fan   int
+}
+
+// buildProg turns a plan into a kernel program plus the expected final
+// array contents.
+func buildProg(plan treePlan) (Prog, []uint32) {
+	const words = 1 << 12 // 16 KiB of shared state
+	expect := make([]uint32, words)
+
+	// Sequential model: walk the tree in deterministic order, recording
+	// every node's writes.
+	// region gives every tree node a unique, disjoint slice of the
+	// array: the path read as a base-4 numeral (fan ≤ 3).
+	region := func(path []int) int {
+		r := 0
+		for _, p := range path {
+			r = r*4 + p + 1
+		}
+		return r % 128
+	}
+	const regionWords = words / 128
+
+	var model func(path []int, rng *rand.Rand)
+	model = func(path []int, rng *rand.Rand) {
+		h := uint32(1)
+		for _, p := range path {
+			h = h*31 + uint32(p+1)
+		}
+		r := region(path)
+		for k := 0; k < 8; k++ {
+			idx := r*regionWords + (int(h)+k*7)%regionWords
+			expect[idx] = h + uint32(k)
+		}
+		if len(path) < plan.depth {
+			for c := 0; c < plan.fan; c++ {
+				model(append(path, c), rng)
+			}
+		}
+	}
+
+	// The kernel program mirrors the model over real spaces.
+	var spawn func(env *Env, path []int)
+	spawn = func(env *Env, path []int) {
+		h := uint32(1)
+		for _, p := range path {
+			h = h*31 + uint32(p+1)
+		}
+		r := region(path)
+		for k := 0; k < 8; k++ {
+			idx := r*regionWords + (int(h)+k*7)%regionWords
+			env.WriteU32(vm.Addr(4*idx), h+uint32(k))
+		}
+		env.Tick(int64(h % 1000))
+		if len(path) < plan.depth {
+			for c := 0; c < plan.fan; c++ {
+				c := c
+				childPath := append(append([]int{}, path...), c)
+				if err := env.Put(uint64(c+1), PutOpts{
+					Regs:    &Regs{Entry: func(ce *Env) { spawn(ce, childPath) }},
+					CopyAll: true,
+					Snap:    true,
+					Start:   true,
+				}); err != nil {
+					panic(err)
+				}
+			}
+			for c := 0; c < plan.fan; c++ {
+				if _, err := env.Get(uint64(c+1), GetOpts{Merge: true}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(plan.seed))
+	model(nil, rng)
+
+	prog := func(env *Env) {
+		env.SetPerm(0, 4*words, vm.PermRW)
+		spawn(env, nil)
+		// Fold the array into the return value so divergence is loud.
+		buf := make([]uint32, words)
+		env.ReadU32s(0, buf)
+		var sig uint64
+		for _, v := range buf {
+			sig = sig*1099511628211 + uint64(v)
+		}
+		env.SetRet(sig)
+	}
+	return prog, expect
+}
+
+func TestRandomForkTreeMatchesModelProperty(t *testing.T) {
+	f := func(seed int64, d8, f8 uint8) bool {
+		plan := treePlan{seed: seed, depth: int(d8%3) + 1, fan: int(f8%3) + 1}
+		prog, expect := buildProg(plan)
+
+		var sig uint64
+		for _, v := range expect {
+			sig = sig*1099511628211 + uint64(v)
+		}
+
+		var vts []int64
+		for run := 0; run < 2; run++ {
+			m := New(Config{CPUsPerNode: 3})
+			res := m.Run(prog, 0)
+			if res.Status != StatusHalted {
+				return false
+			}
+			if res.Ret != sig {
+				return false // parallel result diverged from the sequential model
+			}
+			vts = append(vts, res.VT)
+		}
+		return vts[0] == vts[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Nodes writing non-disjoint regions must conflict deterministically:
+// the same first-conflict address every run.
+func TestRandomConflictStabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		addr := vm.Addr(rng.Intn(1024) * 4)
+		prog := func(env *Env) {
+			env.SetPerm(0, vm.PageSize, vm.PermRW)
+			for c := uint64(1); c <= 2; c++ {
+				c := c
+				if err := env.Put(c, PutOpts{
+					Regs: &Regs{Entry: func(ce *Env) {
+						ce.WriteU32(addr, uint32(c))
+					}},
+					CopyAll: true,
+					Snap:    true,
+					Start:   true,
+				}); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := env.Get(1, GetOpts{Merge: true}); err != nil {
+				panic(err)
+			}
+			_, err := env.Get(2, GetOpts{Merge: true})
+			mc, ok := err.(*vm.MergeConflictError)
+			if !ok {
+				panic("no conflict")
+			}
+			env.SetRet(uint64(mc.Addrs[0]))
+		}
+		m1 := New(Config{}).Run(prog, 0)
+		m2 := New(Config{}).Run(prog, 0)
+		return m1.Status == StatusHalted && m2.Status == StatusHalted &&
+			m1.Ret == uint64(addr) && m1.Ret == m2.Ret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

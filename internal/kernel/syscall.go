@@ -1,0 +1,326 @@
+package kernel
+
+import (
+	"repro/internal/vm"
+)
+
+// Range names a page-aligned span of virtual memory.
+type Range struct {
+	Addr vm.Addr
+	Size uint64
+}
+
+// CopyRange names a source and destination span for the Copy option.
+// On Put, Src is in the parent and Dst in the child; on Get, Src is in the
+// child and Dst in the parent.
+type CopyRange struct {
+	Src  vm.Addr
+	Dst  vm.Addr
+	Size uint64
+}
+
+// PermRange names a span and the permissions to apply (the Perm option).
+type PermRange struct {
+	Range
+	Perm vm.Perm
+}
+
+// PutOpts selects the operations a Put performs on a child (Table 2 of the
+// paper). Options combine freely; they apply in the order Regs, Zero,
+// Copy/CopyAll, Perm, Snap, Tree, Start.
+type PutOpts struct {
+	// Regs loads the child's register state. If the child has a parked
+	// execution and Regs.Entry is non-nil, the parked execution is
+	// discarded (the instruction pointer was overwritten).
+	Regs *Regs
+	// Zero zero-fills a range of the child's memory.
+	Zero *PermRange
+	// Copy copies a parent range into the child copy-on-write.
+	Copy *CopyRange
+	// CopyAll copies the parent's entire address space into the child:
+	// the fork idiom ("one Put call copies the parent's memory state").
+	CopyAll bool
+	// Perm sets page permissions on a child range.
+	Perm *PermRange
+	// Snap saves a snapshot of the child's post-copy memory as the
+	// reference for a later Get with Merge.
+	Snap bool
+	// Tree deep-copies the subtree rooted at the caller's child TreeSrc
+	// (memory, registers, snapshots and recursively all children) into
+	// this child, which must be stopped — the checkpoint/restore idiom.
+	Tree    bool
+	TreeSrc uint64
+	// Start sets the child executing after the state operations.
+	Start bool
+	// Limit arms an instruction limit when starting: the child traps back
+	// to the parent after executing this many instructions (0 = none).
+	Limit int64
+}
+
+// GetOpts selects the operations a Get performs (Table 2). Ranges in Zero
+// and Perm refer to the parent's own memory (Get moves state toward the
+// parent). Options apply in the order Regs, Zero, Copy/CopyAll, Merge,
+// Perm, Tree.
+type GetOpts struct {
+	// Regs copies the child's register state out (into ChildInfo.Regs).
+	Regs bool
+	// Zero zero-fills a range of the parent's memory.
+	Zero *PermRange
+	// Copy copies a child range into the parent copy-on-write.
+	Copy *CopyRange
+	// CopyAll copies the child's entire address space into the parent
+	// (the exec idiom: "this Get returns into the new program").
+	CopyAll bool
+	// Merge folds the child's changes since its last snapshot into the
+	// parent, detecting write/write conflicts (§3.2). MergeRange limits
+	// the span; nil merges the whole address space.
+	Merge      bool
+	MergeRange *Range
+	// MergeLWW resolves write/write conflicts in favour of the merging
+	// child (vm.MergeLastWriter) instead of raising an error; used by the
+	// deterministic scheduler's quantum commits (§4.5).
+	MergeLWW bool
+	// Perm sets page permissions on a parent range.
+	Perm *PermRange
+	// Tree deep-copies this child's subtree into the caller's child
+	// TreeDst, which must be stopped.
+	Tree    bool
+	TreeDst uint64
+}
+
+// ChildInfo reports a child's state at the rendezvous point of a Get/Put.
+type ChildInfo struct {
+	Status Status
+	Err    error // trap cause for StatusFault/StatusExcept
+	Regs   Regs  // child registers, if GetOpts.Regs was set
+	Insns  int64 // instructions the child has executed
+}
+
+// lookupChild finds or creates the child named by ref, migrating the
+// caller to the child's node first (§3.3: the kernel migrates the calling
+// space to the node named in the child number's node field, then interacts
+// with the child locally).
+func (sp *Space) lookupChild(op string, ref uint64) (*Space, error) {
+	node, idx, err := sp.splitChildRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	sp.migrate(node)
+	key := uint64(node.id+1)<<nodeShift | idx
+	child := sp.children[key]
+	if child == nil {
+		child = newSpace(sp.m, sp, key, node)
+		sp.inheritResidency(child)
+		if sp.children == nil {
+			sp.children = make(map[uint64]*Space)
+		}
+		sp.children[key] = child
+	}
+	return child, nil
+}
+
+// rendezvous blocks until the child stops, finalizes its virtual-time
+// segment, and synchronizes the parent's clock with it. Time the caller
+// spends waiting here counts as blocked, not as CPU occupancy.
+func (sp *Space) rendezvous(child *Space) {
+	child.waitStopped()
+	sp.collect(child)
+	if child.status != StatusNever && child.vt > sp.vt {
+		sp.segBlocked += child.vt - sp.vt
+		sp.vt = child.vt
+	}
+}
+
+// put implements the Put system call for sp as the caller.
+func (sp *Space) put(ref uint64, o PutOpts) error {
+	cost := sp.m.cost
+	sp.chargeVT(cost.Syscall)
+	child, err := sp.lookupChild("put", ref)
+	if err != nil {
+		return err
+	}
+	sp.rendezvous(child)
+
+	if o.Regs != nil {
+		if o.Regs.Entry != nil {
+			// New instruction pointer: any parked execution is discarded.
+			child.discardExecution()
+			child.regs = *o.Regs
+		} else {
+			// Argument-only update keeps the current entry point.
+			entry := child.regs.Entry
+			child.regs = *o.Regs
+			child.regs.Entry = entry
+		}
+	}
+	if o.Zero != nil {
+		if err := child.mem.Zero(o.Zero.Addr, o.Zero.Size, o.Zero.Perm); err != nil {
+			return kerr("put", "zero: %v", err)
+		}
+	}
+	if o.CopyAll {
+		st := child.mem.CopyAllFrom(sp.mem)
+		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
+	} else if o.Copy != nil {
+		st, err := child.mem.CopyFrom(sp.mem, o.Copy.Src, o.Copy.Dst, o.Copy.Size)
+		if err != nil {
+			return kerr("put", "copy: %v", err)
+		}
+		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
+	}
+	if o.CopyAll || o.Copy != nil {
+		// COW sharing means the child's view of the copied pages is as
+		// resident as the parent's was.
+		sp.inheritResidency(child)
+	}
+	if o.Perm != nil {
+		if err := child.mem.SetPerm(o.Perm.Addr, o.Perm.Size, o.Perm.Perm); err != nil {
+			return kerr("put", "perm: %v", err)
+		}
+	}
+	if o.Snap {
+		if child.snap != nil {
+			child.snap.Free()
+		}
+		var st vm.CopyStats
+		child.snap, st = child.mem.Snapshot()
+		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
+	}
+	if o.Tree {
+		src, err := sp.lookupChild("put", o.TreeSrc)
+		if err != nil {
+			return err
+		}
+		sp.rendezvous(src)
+		sp.cloneTree(child, src)
+	}
+	if o.Start {
+		if child.regs.Entry == nil {
+			return kerr("put", "start: child %#x has no entry point", ref)
+		}
+		if !child.status.Resumable() && child.status != StatusNever && o.Regs == nil {
+			return kerr("put", "start: child %#x stopped with %v and no new registers were loaded",
+				ref, child.status)
+		}
+		child.vt = max64(child.vt, sp.vt)
+		child.start(o.Limit)
+	}
+	return nil
+}
+
+// get implements the Get system call for sp as the caller.
+func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
+	cost := sp.m.cost
+	sp.chargeVT(cost.Syscall)
+	child, err := sp.lookupChild("get", ref)
+	if err != nil {
+		return ChildInfo{}, err
+	}
+	sp.rendezvous(child)
+
+	info := ChildInfo{Status: child.status, Err: child.trapErr, Insns: child.insns}
+	if o.Regs {
+		info.Regs = child.regs
+	}
+	if o.Zero != nil {
+		if err := sp.mem.Zero(o.Zero.Addr, o.Zero.Size, o.Zero.Perm); err != nil {
+			return info, kerr("get", "zero: %v", err)
+		}
+	}
+	if o.CopyAll {
+		st := sp.mem.CopyAllFrom(child.mem)
+		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
+	} else if o.Copy != nil {
+		st, err := sp.mem.CopyFrom(child.mem, o.Copy.Src, o.Copy.Dst, o.Copy.Size)
+		if err != nil {
+			return info, kerr("get", "copy: %v", err)
+		}
+		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
+	}
+	if o.Merge {
+		if child.snap == nil {
+			return info, kerr("get", "merge: child %#x has no snapshot", ref)
+		}
+		r := Range{0, vm.SpaceSize}
+		if o.MergeRange != nil {
+			r = *o.MergeRange
+		}
+		mode := vm.MergeStrict
+		if o.MergeLWW {
+			mode = vm.MergeLastWriter
+		}
+		st, err := vm.MergeWith(sp.mem, child.mem, child.snap, r.Addr, r.Size, mode)
+		sp.chargeVT(int64(st.PagesCompared)*cost.PageCompare +
+			int64(st.BytesMerged)*cost.ByteMerge +
+			int64(st.TablesAdopted+st.PagesAdopted)*cost.PageCopy)
+		if len(sp.m.nodes) > 1 && sp.fetched != nil {
+			// The merge needed both sides' page data on this node, and the
+			// merged result must eventually reach the parent's home copy:
+			// charge wire traffic for the pages that actually moved.
+			sp.chargeVT(int64(st.PagesCompared+st.PagesAdopted) * (cost.PageTransfer + msgExtra(cost)))
+		}
+		if err != nil {
+			return info, err // vm.MergeConflictError: the paper's runtime exception
+		}
+	}
+	if o.Perm != nil {
+		if err := sp.mem.SetPerm(o.Perm.Addr, o.Perm.Size, o.Perm.Perm); err != nil {
+			return info, kerr("get", "perm: %v", err)
+		}
+	}
+	if o.Tree {
+		dst, err := sp.lookupChild("get", o.TreeDst)
+		if err != nil {
+			return info, err
+		}
+		sp.rendezvous(dst)
+		sp.cloneTree(dst, child)
+	}
+	return info, nil
+}
+
+// cloneTree deep-copies src's state (memory, snapshot, registers and all
+// descendants) into dst. Both subtrees must be stopped, which the callers'
+// rendezvous guarantees for the roots; descendants of a stopped space are
+// stopped by induction only if the program stopped them — we wait to be
+// safe.
+func (sp *Space) cloneTree(dst, src *Space) {
+	cost := sp.m.cost
+	dst.discardExecution()
+	st := dst.mem.CopyAllFrom(src.mem)
+	sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
+	if dst.snap != nil {
+		dst.snap.Free()
+		dst.snap = nil
+	}
+	if src.snap != nil {
+		var sst vm.CopyStats
+		dst.snap, sst = src.snap.Snapshot()
+		sp.chargeVT(int64(sst.TablesShared+sst.PagesShared+sst.PagesZeroed) * cost.PageCopy)
+	}
+	dst.regs = src.regs
+	dst.status = src.status
+	dst.trapErr = src.trapErr
+	dst.insns = src.insns
+	// A cloned parked execution cannot be reproduced (the goroutine stack
+	// is not copyable); a resumable source clones as freshly-restartable
+	// from its registers. This limitation mirrors the prototype's
+	// restriction of Tree to stopped, quiescent subtrees.
+	if dst.status == StatusRet || dst.status == StatusInsnLimit {
+		dst.status = StatusNever
+	}
+	for ref, sc := range src.children {
+		sc.waitStopped()
+		dc := dst.children[ref]
+		if dc == nil {
+			dc = newSpace(sp.m, dst, ref, sc.home)
+			if dst.children == nil {
+				dst.children = make(map[uint64]*Space)
+			}
+			dst.children[ref] = dc
+		} else {
+			dc.waitStopped()
+		}
+		sp.cloneTree(dc, sc)
+	}
+}

@@ -1,0 +1,158 @@
+// Package trace records and replays the explicit nondeterministic inputs
+// of a Determinator machine (§2.1 of the paper): clock readings, entropy,
+// and console input. Because the kernel eliminates all internal
+// nondeterminism, logging these external inputs alone is sufficient to
+// replay any computation exactly — the property replay debugging, fault
+// tolerance and intrusion analysis rely on.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/kernel"
+)
+
+// Log holds every nondeterministic input a run consumed, in consumption
+// order per device.
+type Log struct {
+	Clock []int64  `json:"clock"`
+	Rand  []uint64 `json:"rand"`
+	Input [][]byte `json:"input"` // console input, one entry per device read
+}
+
+// Marshal serializes the log.
+func (l *Log) Marshal() ([]byte, error) { return json.Marshal(l) }
+
+// Unmarshal parses a serialized log.
+func Unmarshal(data []byte) (*Log, error) {
+	l := &Log{}
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Record wraps cfg's devices so that every nondeterministic input is
+// captured into the returned Log as the machine consumes it. Call before
+// kernel.New.
+func Record(cfg *kernel.Config) *Log {
+	l := &Log{}
+	var mu sync.Mutex
+
+	clock := cfg.Clock
+	if clock == nil {
+		clock = kernel.LogicalClock()
+	}
+	cfg.Clock = func() int64 {
+		v := clock()
+		mu.Lock()
+		l.Clock = append(l.Clock, v)
+		mu.Unlock()
+		return v
+	}
+
+	rnd := cfg.Rand
+	if rnd == nil {
+		rnd = kernel.SeededRand(1)
+	}
+	cfg.Rand = func() uint64 {
+		v := rnd()
+		mu.Lock()
+		l.Rand = append(l.Rand, v)
+		mu.Unlock()
+		return v
+	}
+	return l
+}
+
+// RecordInput wraps a console input reader so consumed chunks land in the
+// log. Use with kernel.NewConsole.
+func (l *Log) RecordInput(in io.Reader) io.Reader {
+	return &recordingReader{log: l, in: in}
+}
+
+type recordingReader struct {
+	log *Log
+	in  io.Reader
+}
+
+func (r *recordingReader) Read(p []byte) (int, error) {
+	if r.in == nil {
+		return 0, io.EOF
+	}
+	n, err := r.in.Read(p)
+	if n > 0 {
+		chunk := append([]byte(nil), p[:n]...)
+		r.log.Input = append(r.log.Input, chunk)
+	}
+	return n, err
+}
+
+// Replay configures cfg's devices to reproduce the logged inputs: the
+// machine sees exactly the values of the recorded run.
+func Replay(cfg *kernel.Config, l *Log) {
+	cfg.Clock = replayClock(l.Clock)
+	cfg.Rand = replayRand(l.Rand)
+}
+
+// ReplayInput returns a reader that delivers the recorded console input
+// with the recorded chunk boundaries.
+func (l *Log) ReplayInput() io.Reader {
+	return &chunkReader{chunks: l.Input}
+}
+
+type chunkReader struct {
+	chunks [][]byte
+	buf    bytes.Buffer
+	idx    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	for c.buf.Len() == 0 {
+		if c.idx >= len(c.chunks) {
+			return 0, io.EOF
+		}
+		c.buf.Write(c.chunks[c.idx])
+		c.idx++
+	}
+	return c.buf.Read(p)
+}
+
+func replayClock(vals []int64) kernel.ClockFunc {
+	var mu sync.Mutex
+	i := 0
+	return func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(vals) {
+			if len(vals) == 0 {
+				return 0
+			}
+			return vals[len(vals)-1]
+		}
+		v := vals[i]
+		i++
+		return v
+	}
+}
+
+func replayRand(vals []uint64) kernel.RandFunc {
+	var mu sync.Mutex
+	i := 0
+	return func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(vals) {
+			if len(vals) == 0 {
+				return 0
+			}
+			return vals[len(vals)-1]
+		}
+		v := vals[i]
+		i++
+		return v
+	}
+}

@@ -1,0 +1,69 @@
+package uproc
+
+import (
+	"io"
+
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// BootConfig describes the machine and environment for a process tree.
+type BootConfig struct {
+	Kernel   kernel.Config
+	Registry *Registry
+	Stdin    io.Reader // console input script (nil = empty)
+	Stdout   io.Writer // console output sink (nil = discard)
+}
+
+// BootResult reports a completed Boot.
+type BootResult struct {
+	ExitStatus int
+	Run        kernel.RunResult
+}
+
+// Boot builds a machine, formats the root file system, creates the
+// console files, and runs the named program as the init process (PID-less
+// root of the process tree, and the only process with device access).
+// It returns once the whole tree has finished and all buffered console
+// output has reached Stdout.
+func Boot(cfg BootConfig, entry string, args ...string) BootResult {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	prog, ok := cfg.Registry.Lookup(entry)
+	if !ok {
+		panic("uproc: boot program not registered: " + entry)
+	}
+	cfg.Kernel.Console = kernel.NewConsole(cfg.Stdin, cfg.Stdout)
+	m := kernel.New(cfg.Kernel)
+	res := m.Run(func(env *kernel.Env) {
+		fsys := formatRoot(env)
+		p := &Proc{
+			env:      env,
+			fsys:     fsys,
+			registry: cfg.Registry,
+			args:     append([]string{entry}, args...),
+			root:     true,
+			children: make(map[int]*childState),
+		}
+		status := p.runToExit(prog)
+		p.pumpConsole() // final output flush
+		env.SetRet(uint64(status))
+	}, 0)
+	return BootResult{ExitStatus: int(res.Ret), Run: res}
+}
+
+// formatRoot maps and formats the root process's file system image,
+// including the console special files (§4.3).
+func formatRoot(env *kernel.Env) *fs.FS {
+	env.SetPerm(FSBase, FSSize, vm.PermRW)
+	fsys := fs.Format(env, FSBase, FSSize)
+	if err := fsys.CreateAppendOnly(ConsoleIn); err != nil {
+		panic(err)
+	}
+	if err := fsys.CreateAppendOnly(ConsoleOut); err != nil {
+		panic(err)
+	}
+	return fsys
+}

@@ -1,0 +1,125 @@
+package uproc
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Checkpoint/restore supervision, built on the kernel's Tree option
+// (Table 2: "copy (grand)child subtree"). Determinism is what makes this
+// kind of fault tolerance cheap (§1): a checkpoint is an ordinary
+// copy-on-write subtree clone, and a restored process re-executes
+// identically from the recorded state.
+//
+// Because native Go stacks cannot be snapshotted, a restore restarts the
+// process image from its entry point over the checkpointed memory —
+// including the file system replica. Programs that record their progress
+// in files (the natural style on this runtime, where files are the
+// shared state) therefore resume from the last checkpoint rather than
+// from scratch.
+
+// checkpoint clones the child's space subtree into a shadow child slot.
+// The clone carries the child's memory image and registers; a parked
+// execution clones as restartable-from-entry.
+func (p *Proc) checkpoint(pid int, cs *childState) error {
+	if p.shadows == nil {
+		p.shadows = make(map[int]uint64)
+	}
+	shadow, ok := p.shadows[pid]
+	if !ok {
+		shadow = p.allocRef()
+		p.shadows[pid] = shadow
+	}
+	return p.env.Put(shadow, kernel.PutOpts{Tree: true, TreeSrc: cs.ref})
+}
+
+// restore re-creates the child from its latest checkpoint and restarts
+// it. The cloned registers still hold the original entry wrapper, which
+// re-attaches the restored file system replica on startup.
+func (p *Proc) restore(pid int, cs *childState) error {
+	shadow, ok := p.shadows[pid]
+	if !ok {
+		return fmt.Errorf("uproc: no checkpoint for pid %d", pid)
+	}
+	if err := p.env.Put(cs.ref, kernel.PutOpts{Tree: true, TreeSrc: shadow}); err != nil {
+		return err
+	}
+	// Relaunch from the cloned image's own registers: reloading them
+	// explicitly makes the restart valid even if the checkpoint itself
+	// captured a crashed state (e.g. a child that dies before its first
+	// synchronization point).
+	info, err := p.env.Get(cs.ref, kernel.GetOpts{Regs: true})
+	if err != nil {
+		return err
+	}
+	regs := info.Regs
+	return p.env.Put(cs.ref, kernel.PutOpts{Regs: &regs, Start: true})
+}
+
+// SuperviseResult reports a supervised child's lifetime.
+type SuperviseResult struct {
+	Status   int // final exit status
+	Restarts int // crash recoveries performed
+	Syncs    int // checkpoints taken at synchronization points
+}
+
+// Supervise runs the child like Waitpid, but takes a subtree checkpoint
+// at every synchronization request the child makes (Sync, console
+// reads), and transparently restores-and-restarts the child if it
+// crashes — up to maxRestarts times. Deterministic re-execution from the
+// restored state makes the recovery exact.
+func (p *Proc) Supervise(pid int, maxRestarts int) (SuperviseResult, error) {
+	var res SuperviseResult
+	cs, ok := p.children[pid]
+	if !ok {
+		return res, fmt.Errorf("%w: pid %d", ErrNoChild, pid)
+	}
+	// Initial checkpoint, so even an immediate crash is recoverable.
+	// (Put with Tree rendezvouses with the child's first stop.)
+	if err := p.checkpoint(pid, cs); err != nil {
+		return res, err
+	}
+	for {
+		info, err := p.env.Get(cs.ref, kernel.GetOpts{Regs: true})
+		if err != nil {
+			return res, err
+		}
+		switch info.Status {
+		case kernel.StatusHalted:
+			if _, err := p.reconcileChild(cs.ref); err != nil {
+				return res, err
+			}
+			p.releaseChild(pid, cs)
+			delete(p.shadows, pid)
+			res.Status = int(info.Regs.Ret)
+			return res, nil
+		case kernel.StatusRet:
+			if err := p.syncChild(cs.ref, int(info.Regs.Ret)); err != nil {
+				return res, err
+			}
+			if err := p.checkpoint(pid, cs); err != nil {
+				return res, err
+			}
+			res.Syncs++
+			if err := p.env.Put(cs.ref, kernel.PutOpts{Start: true}); err != nil {
+				return res, err
+			}
+		case kernel.StatusInsnLimit:
+			if err := p.env.Put(cs.ref, kernel.PutOpts{Start: true}); err != nil {
+				return res, err
+			}
+		case kernel.StatusFault, kernel.StatusExcept:
+			if res.Restarts >= maxRestarts {
+				p.releaseChild(pid, cs)
+				return res, &ExitError{PID: pid, Status: info.Status, Cause: info.Err}
+			}
+			if err := p.restore(pid, cs); err != nil {
+				return res, err
+			}
+			res.Restarts++
+		default:
+			return res, fmt.Errorf("uproc: supervised child %d in state %v", pid, info.Status)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package uproc
+
+import (
+	"errors"
+
+	"repro/internal/fs"
+)
+
+// ConsoleWrite appends to the process's console output file. The bytes
+// reach the real device only when file system synchronization propagates
+// them to the root (§4.3) — at wait, fsync or exit — which is why a
+// process's output appears as an uninterleaved unit, in the same order,
+// on every run.
+func (p *Proc) ConsoleWrite(b []byte) {
+	out := ConsoleOut
+	if p.outFile != "" {
+		out = p.outFile // pipeline stage: output captured into the pipe file
+	}
+	if err := p.fsys.Append(out, b); err != nil {
+		panic(err)
+	}
+	if p.root {
+		p.pumpConsole()
+	}
+}
+
+// ConsoleRead reads console input into buf, blocking (by synchronizing
+// with the parent) until data or end of input arrives. It returns 0 at
+// EOF, mirroring Unix read semantics.
+func (p *Proc) ConsoleRead(buf []byte) int {
+	for {
+		n := p.readBuffered(buf)
+		if n > 0 {
+			return n
+		}
+		if p.stdinFile != "" {
+			// Pipe/file input: the producer finished before this process
+			// forked, so end of data is end of file.
+			return 0
+		}
+		if p.inEOF {
+			return 0
+		}
+		if _, err := p.fsys.Stat(consoleEOF); err == nil {
+			p.inEOF = true
+			return 0
+		}
+		if p.root {
+			p.pumpConsole()
+			if p.rootInputDry() {
+				return 0
+			}
+			continue
+		}
+		// No data locally: stop and ask the parent for more (§4.3).
+		p.syncUp(reqInput)
+	}
+}
+
+// readBuffered returns data already accumulated in the process's
+// standard input file past its read position.
+func (p *Proc) readBuffered(buf []byte) int {
+	in := ConsoleIn
+	if p.stdinFile != "" {
+		in = p.stdinFile
+	}
+	n, err := p.fsys.ReadAt(in, p.inOff, buf)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotFound) {
+			return 0
+		}
+		panic(err)
+	}
+	p.inOff += n
+	return n
+}
+
+// ReadLine reads one line of console input (without the newline). ok is
+// false at EOF with no data.
+func (p *Proc) ReadLine() (string, bool) {
+	var line []byte
+	var b [1]byte
+	for {
+		n := p.ConsoleRead(b[:])
+		if n == 0 {
+			return string(line), len(line) > 0
+		}
+		if b[0] == '\n' {
+			return string(line), true
+		}
+		line = append(line, b[0])
+	}
+}
+
+// Sync is fsync: it pushes this process's file system state (including
+// buffered console output) toward the root immediately and pulls down
+// any new state, instead of waiting for the next natural sync point.
+func (p *Proc) Sync() {
+	if p.root {
+		p.pumpConsole()
+		return
+	}
+	p.syncUp(reqSync)
+}
+
+// pumpConsole, in the root only, moves bytes between the machine's
+// console device and the root's console files: new output drains to the
+// device, new input accumulates in the input file. When the device input
+// runs dry the root records EOF so descendants stop waiting.
+func (p *Proc) pumpConsole() {
+	// Drain output.
+	info, err := p.fsys.Stat(ConsoleOut)
+	if err == nil && info.Size > p.outOff {
+		buf := make([]byte, info.Size-p.outOff)
+		if _, err := p.fsys.ReadAt(ConsoleOut, p.outOff, buf); err == nil {
+			p.env.ConsoleWrite(buf)
+			p.outOff += len(buf)
+		}
+	}
+	// Accumulate input.
+	var got bool
+	var tmp [512]byte
+	for {
+		n := p.env.ConsoleRead(tmp[:])
+		if n == 0 {
+			break
+		}
+		got = true
+		if err := p.fsys.Append(ConsoleIn, tmp[:n]); err != nil {
+			panic(err)
+		}
+	}
+	if !got && !p.inEOF {
+		// Device dry: declare EOF for the whole hierarchy. (The machine's
+		// console is non-interactive: input is a finite script.)
+		if _, err := p.fsys.Stat(consoleEOF); errors.Is(err, fs.ErrNotFound) {
+			if err := p.fsys.Create(consoleEOF); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// rootInputDry reports whether the root has declared console EOF.
+func (p *Proc) rootInputDry() bool {
+	_, err := p.fsys.Stat(consoleEOF)
+	return err == nil
+}

@@ -1,0 +1,99 @@
+package uproc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fs"
+)
+
+// Batch pipes. §2.3 of the paper observes that queue abstractions like
+// pipes are deterministic as long as only one process accesses each end.
+// The strict space hierarchy of the prototype cannot stream between
+// concurrently running siblings (their replicas only reconcile at
+// synchronization points), so pipes here are batch: the producer runs to
+// completion with its console output captured into a pipe file, then the
+// consumer runs with that file as its standard input. This is exactly
+// how the prototype's shell composes pipelines, and it preserves the
+// single-reader/single-writer determinism argument trivially.
+
+// pipeFile names the capture file for the n-th pipe created by this
+// process.
+func pipeFile(n int) string { return fmt.Sprintf("#pipe-%d", n) }
+
+// stdin resolution: a process reads either the console input stream or a
+// pipe file, selected at fork time.
+
+// ForkExecStdin forks a registry program whose standard input is the
+// named file instead of the console. Reads past the end of the file
+// return EOF immediately: the producer has already finished.
+func (p *Proc) ForkExecStdin(name, stdin string, args ...string) (int, error) {
+	prog, ok := p.registry.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoProgram, name)
+	}
+	return p.forkWith(prog, stdin, 0, append([]string{name}, args...))
+}
+
+// Pipeline runs a sequence of commands (each a program name plus
+// arguments) as a batch pipeline: stage i's console output becomes stage
+// i+1's standard input. The last stage's output flows to the ordinary
+// console. It returns the exit status of the final stage (like a shell
+// without pipefail) and the first error encountered.
+func (p *Proc) Pipeline(stages [][]string) (int, error) {
+	if len(stages) == 0 {
+		return 0, errors.New("uproc: empty pipeline")
+	}
+	stdin := "" // first stage reads the console
+	status := 0
+	for i, stage := range stages {
+		if len(stage) == 0 {
+			return 0, errors.New("uproc: empty pipeline stage")
+		}
+		prog, ok := p.registry.Lookup(stage[0])
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoProgram, stage[0])
+		}
+		last := i == len(stages)-1
+		var capture string
+		if !last {
+			capture = pipeFile(p.nextPipe())
+		}
+		pid, err := p.forkStage(prog, stage, stdin, capture)
+		if err != nil {
+			return 0, err
+		}
+		st, _, err := p.Waitpid(pid)
+		if err != nil {
+			return 0, err
+		}
+		status = st
+		stdin = capture
+	}
+	return status, nil
+}
+
+// nextPipe allocates a pipe number from the process's deterministic
+// counter (application-chosen names, §2.4).
+func (p *Proc) nextPipe() int {
+	p.pipeSerial++
+	return p.pipeSerial
+}
+
+// forkStage forks one pipeline stage: stdin names the input file ("" for
+// console), capture names the file that should receive the stage's
+// console output ("" for none).
+func (p *Proc) forkStage(prog Program, argv []string, stdin, capture string) (int, error) {
+	if capture == "" {
+		return p.forkWith(prog, stdin, 0, argv)
+	}
+	// Wrap the stage so its console writes land in the capture file.
+	wrapped := func(cp *Proc) int {
+		cp.outFile = capture
+		if err := cp.fsys.CreateAppendOnly(capture); err != nil && !errors.Is(err, fs.ErrExists) {
+			panic(err)
+		}
+		return prog(cp)
+	}
+	return p.forkWith(wrapped, stdin, 0, argv)
+}

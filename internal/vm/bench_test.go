@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the primitives every higher layer's cost reduces
+// to: bulk COW copies, snapshots, and merges with varying dirtiness.
+
+func benchSpace(pages int) *Space {
+	s := NewSpace()
+	span := uint64((pages + tableEntries - 1) / tableEntries * tableEntries * PageSize)
+	if span == 0 {
+		span = tableEntries * PageSize
+	}
+	if err := s.SetPerm(0, span, PermRW); err != nil {
+		panic(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for p := 0; p < pages; p++ {
+		if err := s.Write(Addr(p*PageSize), buf); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkCopyAllFrom(b *testing.B) {
+	for _, pages := range []int{16, 1024, 8192} {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			src := benchSpace(pages)
+			dst := NewSpace()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst.CopyAllFrom(src)
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	src := benchSpace(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, _ := src.Snapshot()
+		snap.Free()
+	}
+}
+
+// BenchmarkForkDirtyMerge times the full private-workspace cycle — COW
+// fork, snapshot, dirtying N pages, merge back — which is the unit of
+// cost behind every thread join in the system. (Timing only the merge
+// would need per-iteration untimed setup that dwarfs the measured work.)
+func BenchmarkForkDirtyMerge(b *testing.B) {
+	for _, dirty := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("dirty=%d", dirty), func(b *testing.B) {
+			parent := benchSpace(1024)
+			buf := make([]byte, PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				child := NewSpace()
+				child.CopyAllFrom(parent)
+				snap, _ := child.Snapshot()
+				for p := 0; p < dirty; p++ {
+					if err := child.Write(Addr(p*PageSize), buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+				dst := NewSpace()
+				dst.CopyAllFrom(parent)
+				if _, err := Merge(dst, child, snap, 0, tableEntries*PageSize); err != nil {
+					b.Fatal(err)
+				}
+				child.Free()
+				snap.Free()
+				dst.Free()
+			}
+		})
+	}
+}
+
+func BenchmarkWriteCOWBreak(b *testing.B) {
+	src := benchSpace(64)
+	var word [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := NewSpace()
+		dst.CopyAllFrom(src)
+		// First write to a shared page: table split + page copy.
+		if err := dst.Write(0, word[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkReadWrite(b *testing.B) {
+	s := benchSpace(256)
+	buf := make([]byte, 256*PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Read(0, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Write(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(2 * len(buf)))
+}

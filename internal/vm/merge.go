@@ -1,0 +1,221 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// zeroData backs lazy-zero pages during comparisons.
+var zeroData [PageSize]byte
+
+func dataOf(pg *page) *[PageSize]byte {
+	if pg == nil {
+		return &zeroData
+	}
+	return &pg.data
+}
+
+// MergeStats reports the work done by a Merge, for the kernel's
+// virtual-time cost model.
+type MergeStats struct {
+	TablesAdopted int // whole child tables adopted (parent untouched since snapshot)
+	PagesAdopted  int // child pages adopted wholesale (parent page untouched)
+	PagesCompared int // pages byte-compared on the slow path
+	BytesMerged   int // individual bytes copied into the parent
+}
+
+// MergeConflictError reports write/write conflicts found during a Merge:
+// bytes modified both by the child (relative to its reference snapshot) and
+// by the parent. Determinator treats this as a runtime exception, like
+// divide-by-zero; it is reliably detected regardless of execution schedule.
+type MergeConflictError struct {
+	Addrs []Addr // first few conflicting byte addresses
+	Total int    // total conflicting bytes
+}
+
+func (e *MergeConflictError) Error() string {
+	if len(e.Addrs) == 0 {
+		return "vm: merge conflict"
+	}
+	return fmt.Sprintf("vm: merge conflict: %d byte(s) modified in both spaces (first at %#08x)",
+		e.Total, e.Addrs[0])
+}
+
+const maxReportedConflicts = 8
+
+// MergeMode selects how Merge treats bytes changed on both sides.
+type MergeMode int
+
+const (
+	// MergeStrict reports write/write conflicts as errors: the private
+	// workspace model's semantics.
+	MergeStrict MergeMode = iota
+	// MergeLastWriter lets the merging child's byte win silently. The
+	// deterministic scheduler (§4.5) uses this: under quantized execution
+	// racy writes commit in deterministic round order — repeatable, but
+	// no more predictable than conventional threads, as the paper notes.
+	MergeLastWriter
+)
+
+// Merge folds the child's changes since its reference snapshot into dst
+// (the parent), over the page-aligned range [addr, addr+size). For every
+// byte that differs between cur (the child's current state) and ref (the
+// snapshot taken when the child was forked), the byte is copied into dst —
+// unless dst itself changed that byte since the snapshot, which is a
+// conflict. Bytes the child did not change are left untouched in dst.
+//
+// Merge is the kernel-level operation behind the Merge option of Get; the
+// byte-granularity semantics are what make Determinator's private
+// workspace model deterministic: the outcome depends only on which bytes
+// each side wrote, never on when they wrote them.
+func Merge(dst, cur, ref *Space, addr Addr, size uint64) (MergeStats, error) {
+	return MergeWith(dst, cur, ref, addr, size, MergeStrict)
+}
+
+// MergeWith is Merge with an explicit conflict-handling mode.
+func MergeWith(dst, cur, ref *Space, addr Addr, size uint64, mode MergeMode) (MergeStats, error) {
+	var st MergeStats
+	if err := rangeCheck(addr, size); err != nil {
+		return st, err
+	}
+	conflict := &MergeConflictError{}
+
+	// Walk only the level-2 tables that exist in the child: the snapshot
+	// was taken from the child, so any page mapped in ref is mapped in cur.
+	end := uint64(addr) + size
+	for l1 := int(addr >> l1Shift); uint64(l1)<<l1Shift < end; l1++ {
+		ct := cur.root[l1]
+		if ct == nil {
+			continue
+		}
+		rt := ref.root[l1]
+		if ct == rt {
+			continue // child did not touch this whole 4 MiB span
+		}
+		base := uint64(l1) << l1Shift
+		lo, hi := 0, tableEntries
+		if base < uint64(addr) {
+			lo = int((uint64(addr) - base) >> l2Shift)
+		}
+		if base+(tableEntries<<l2Shift) > end {
+			hi = int((end - base) >> l2Shift)
+		}
+		if dt := dst.root[l1]; dt == rt && lo == 0 && hi == tableEntries {
+			// The parent still shares the snapshot's table: it has not
+			// touched this span since the fork, so adopting the child's
+			// whole table is byte-for-byte equivalent to merging it.
+			// Count the pages that actually changed (pointer compares)
+			// so the cost model still sees the real data volume.
+			for l2 := 0; l2 < tableEntries; l2++ {
+				var rp *page
+				if rt != nil {
+					rp = rt.ptes[l2].pg
+				}
+				if ct.ptes[l2].pg != rp {
+					st.PagesAdopted++
+				}
+			}
+			releaseTable(dt)
+			dst.root[l1] = shareTable(ct)
+			st.TablesAdopted++
+			continue
+		}
+		for l2 := lo; l2 < hi; l2++ {
+			ce := ct.ptes[l2]
+			var re pte
+			if rt != nil {
+				re = rt.ptes[l2]
+			}
+			if ce.pg == re.pg {
+				continue // child did not change this page
+			}
+			pa := Addr(base) + Addr(l2)<<l2Shift
+			mergePage(dst, pa, ce, re, mode, &st, conflict)
+		}
+	}
+	if conflict.Total > 0 {
+		return st, conflict
+	}
+	return st, nil
+}
+
+// mergePage merges one child page at address pa into dst.
+func mergePage(dst *Space, pa Addr, ce, re pte, mode MergeMode, st *MergeStats, conflict *MergeConflictError) {
+	de := dst.entry(pa)
+	if de.pg == re.pg {
+		// Fast path: the parent has not touched this page since the
+		// snapshot (it still shares the snapshot's page), so adopting the
+		// child's whole page is byte-for-byte equivalent to copying only
+		// the changed bytes.
+		l1, l2 := split(pa)
+		t := dst.ownTable(l1)
+		if old := t.ptes[l2].pg; old != nil {
+			old.refs.Add(-1)
+		}
+		if ce.pg != nil {
+			ce.pg.refs.Add(1)
+		}
+		perm := de.perm
+		if !de.mapped() {
+			perm = ce.perm
+		}
+		t.ptes[l2] = pte{pg: ce.pg, perm: perm}
+		st.PagesAdopted++
+		return
+	}
+
+	// Slow path: both sides may have changed; compare byte by byte,
+	// eight bytes at a time.
+	st.PagesCompared++
+	curD, refD, dstD := dataOf(ce.pg), dataOf(re.pg), dataOf(de.pg)
+	var wp *page // writable dst page, fetched lazily
+	for off := 0; off < PageSize; off += 8 {
+		cw := binary.LittleEndian.Uint64(curD[off:])
+		rw := binary.LittleEndian.Uint64(refD[off:])
+		if cw == rw {
+			continue
+		}
+		dw := binary.LittleEndian.Uint64(dstD[off:])
+		for b := 0; b < 8; b++ {
+			sh := 8 * b
+			cb, rb := byte(cw>>sh), byte(rw>>sh)
+			if cb == rb {
+				continue
+			}
+			if byte(dw>>sh) != rb && mode == MergeStrict {
+				// Parent changed this byte too: write/write conflict.
+				if len(conflict.Addrs) < maxReportedConflicts {
+					conflict.Addrs = append(conflict.Addrs, pa+Addr(off+b))
+				}
+				conflict.Total++
+				continue
+			}
+			if wp == nil {
+				wp = dst.writablePage(pa)
+			}
+			wp.data[off+b] = cb
+			st.BytesMerged++
+		}
+	}
+}
+
+// CopyAllFrom replaces the entire contents of s with a COW clone of src,
+// releasing whatever s held before. It is the bulk path behind fork-style
+// "copy the parent's whole memory into the child" Put calls: whole
+// level-2 tables are shared, so the cost is O(mapped space / 4 MiB).
+func (s *Space) CopyAllFrom(src *Space) CopyStats {
+	var st CopyStats
+	for l1 := range s.root {
+		srcT := src.root[l1]
+		dstT := s.root[l1]
+		if srcT == dstT {
+			continue
+		}
+		releaseTable(dstT)
+		s.root[l1] = shareTable(srcT)
+		if srcT != nil {
+			st.TablesShared++
+		}
+	}
+	return st
+}

@@ -1,0 +1,513 @@
+// Package vm implements the software paged virtual memory substrate that
+// stands in for the x86 MMU in the original Determinator kernel.
+//
+// Each Space is a private 32-bit address space built from 4 KiB pages behind
+// a two-level page table. Pages are shared copy-on-write between spaces (for
+// the kernel's Copy and Snap operations) and carry read/write permissions.
+// Merge performs the byte-granularity three-way reconciliation at the heart
+// of Determinator's private workspace model: bytes the child changed since
+// its reference snapshot are folded into the parent, and bytes changed on
+// both sides raise a conflict, independent of any execution schedule.
+//
+// A Space is not safe for concurrent use by multiple goroutines. The kernel
+// guarantees that a space is only ever touched by its owning goroutine, or
+// by its parent while the child is stopped at a rendezvous point; pages
+// shared COW between spaces are never written in place (writers always
+// break sharing first), so cross-space page sharing needs no locking beyond
+// the atomic reference count.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Address-space geometry. The layout mirrors 32-bit x86 two-level paging:
+// 10 bits of level-1 index, 10 bits of level-2 index, 12 bits of page offset.
+const (
+	PageShift = 12
+	// PageSize is the granularity of mapping, copy-on-write sharing and
+	// permission control, matching the 4 KiB x86 page.
+	PageSize = 1 << PageShift
+	pageMask = PageSize - 1
+
+	l1Shift      = 22
+	l2Shift      = PageShift
+	tableEntries = 1024
+
+	// SpaceSize is the total size of a space's virtual address range.
+	SpaceSize = 1 << 32
+)
+
+// Addr is a 32-bit virtual address within a Space.
+type Addr = uint32
+
+// Perm describes the access permissions of a mapped page.
+type Perm uint8
+
+// Permission bits. A page with PermNone is mapped but inaccessible;
+// an unmapped page has no pte at all and faults on any access.
+const (
+	PermNone Perm = 0
+	PermR    Perm = 1 << 0
+	PermW    Perm = 1 << 1
+	PermRW        = PermR | PermW
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "--"
+	case PermR:
+		return "r-"
+	case PermW:
+		return "-w"
+	case PermRW:
+		return "rw"
+	}
+	return fmt.Sprintf("Perm(%d)", uint8(p))
+}
+
+// A page is the unit of storage and of copy-on-write sharing. refs counts
+// how many page-table entries (across all spaces and snapshots) reference
+// it; a page with refs > 1 is immutable and must be copied before writing.
+type page struct {
+	refs atomic.Int32
+	data [PageSize]byte
+}
+
+func newPage() *page {
+	p := &page{}
+	p.refs.Store(1)
+	return p
+}
+
+// pte is a page-table entry: a permission plus an optional backing page.
+// A mapped entry with a nil page reads as zeros ("lazy zero page"); the
+// backing page is allocated on first write.
+type pte struct {
+	pg   *page
+	perm Perm
+}
+
+func (e pte) mapped() bool { return e.perm != PermNone || e.pg != nil }
+
+// table is a level-2 page table covering 4 MiB of address space. Like
+// pages, tables are shared copy-on-write between spaces: refs counts the
+// spaces (and snapshots) referencing the table, and a shared table is
+// immutable — any mutation first copies it (ownTable). Table-granularity
+// sharing is what makes fork and snapshot O(address-space/4MiB) rather
+// than O(pages), mirroring the real kernel's two-level COW ("replicating
+// a file system image among many spaces copies no physical pages").
+type table struct {
+	refs atomic.Int32
+	ptes [tableEntries]pte
+}
+
+func newTable() *table {
+	t := &table{}
+	t.refs.Store(1)
+	return t
+}
+
+// releaseTable drops one reference; the last release also drops the
+// table's page references.
+func releaseTable(t *table) {
+	if t == nil {
+		return
+	}
+	if t.refs.Add(-1) == 0 {
+		for j := range t.ptes {
+			if pg := t.ptes[j].pg; pg != nil {
+				pg.refs.Add(-1)
+			}
+		}
+	}
+}
+
+// shareTable adds a reference.
+func shareTable(t *table) *table {
+	if t != nil {
+		t.refs.Add(1)
+	}
+	return t
+}
+
+// Space is a private virtual address space.
+type Space struct {
+	root [tableEntries]*table
+}
+
+// ownTable returns a privately owned (mutable) level-2 table for index
+// l1, copying a shared one or allocating an empty one as needed.
+func (s *Space) ownTable(l1 int) *table {
+	t := s.root[l1]
+	if t == nil {
+		t = newTable()
+		s.root[l1] = t
+		return t
+	}
+	if t.refs.Load() > 1 {
+		nt := newTable()
+		nt.ptes = t.ptes
+		for j := range nt.ptes {
+			if pg := nt.ptes[j].pg; pg != nil {
+				pg.refs.Add(1)
+			}
+		}
+		releaseTable(t)
+		s.root[l1] = nt
+		return nt
+	}
+	return t
+}
+
+// NewSpace returns an empty address space with nothing mapped.
+func NewSpace() *Space { return &Space{} }
+
+// AccessError reports a faulting access, the Determinator analogue of a
+// processor page fault. The kernel converts it into a trap Ret.
+type AccessError struct {
+	Addr  Addr
+	Write bool
+	Perm  Perm // permissions actually present at Addr
+}
+
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("vm: %s fault at %#08x (perm %s)", kind, e.Addr, e.Perm)
+}
+
+// alignDown / alignUp round to page boundaries.
+func alignDown(a Addr) Addr { return a &^ pageMask }
+
+func split(a Addr) (l1, l2 int) {
+	return int(a >> l1Shift), int((a >> l2Shift) & (tableEntries - 1))
+}
+
+// entry returns the pte for the page containing a, or a zero pte if the
+// page is unmapped.
+func (s *Space) entry(a Addr) pte {
+	l1, l2 := split(a)
+	t := s.root[l1]
+	if t == nil {
+		return pte{}
+	}
+	return t.ptes[l2]
+}
+
+// setEntry installs a pte, breaking table sharing as needed.
+func (s *Space) setEntry(a Addr, e pte) {
+	l1, l2 := split(a)
+	s.ownTable(l1).ptes[l2] = e
+}
+
+// PermAt reports the permissions at address a (PermNone if unmapped).
+func (s *Space) PermAt(a Addr) Perm { return s.entry(a).perm }
+
+// rangeCheck validates a page-aligned range. size may run to the very end
+// of the address space (addr+size == 2^32 encodes as wraparound to 0 only
+// when addr==0 and size==SpaceSize, which we disallow for simplicity).
+func rangeCheck(addr Addr, size uint64) error {
+	if addr&pageMask != 0 || size&pageMask != 0 {
+		return fmt.Errorf("vm: range %#x+%#x not page-aligned", addr, size)
+	}
+	if size > SpaceSize || uint64(addr)+size > SpaceSize {
+		return fmt.Errorf("vm: range %#x+%#x exceeds address space", addr, size)
+	}
+	return nil
+}
+
+// SetPerm sets the permissions of every page in the (page-aligned) range,
+// mapping previously unmapped pages as lazy-zero pages. It corresponds to
+// the Perm option of Put/Get.
+func (s *Space) SetPerm(addr Addr, size uint64, perm Perm) error {
+	if err := rangeCheck(addr, size); err != nil {
+		return err
+	}
+	for off := uint64(0); off < size; off += PageSize {
+		a := addr + Addr(off)
+		e := s.entry(a)
+		e.perm = perm
+		s.setEntry(a, e)
+	}
+	return nil
+}
+
+// Zero zero-fills the (page-aligned) range, dropping any backing pages and
+// leaving the pages mapped with the given permissions. It corresponds to
+// the Zero option of Put/Get.
+func (s *Space) Zero(addr Addr, size uint64, perm Perm) error {
+	if err := rangeCheck(addr, size); err != nil {
+		return err
+	}
+	for off := uint64(0); off < size; off += PageSize {
+		a := addr + Addr(off)
+		l1, l2 := split(a)
+		t := s.ownTable(l1)
+		if old := t.ptes[l2].pg; old != nil {
+			old.refs.Add(-1)
+		}
+		t.ptes[l2] = pte{perm: perm}
+	}
+	return nil
+}
+
+// Free releases every table and page reference held by the space,
+// leaving it empty. The kernel calls this when a space or snapshot is
+// destroyed so that COW reference counts stay accurate.
+func (s *Space) Free() {
+	for i, t := range s.root {
+		releaseTable(t)
+		s.root[i] = nil
+	}
+}
+
+// CopyStats reports the work done by a bulk page operation, used by the
+// kernel's virtual-time cost model.
+type CopyStats struct {
+	TablesShared int // whole level-2 tables shared copy-on-write
+	PagesShared  int // individual pages shared copy-on-write
+	PagesZeroed  int // pages dropped or left lazy-zero
+}
+
+// CopyFrom logically copies the (page-aligned) range from src into s using
+// copy-on-write sharing: no bytes move until someone writes. Destination
+// permissions are inherited from the source. It implements the Copy option
+// of Put/Get (with s and src being child/parent or vice versa) and, with
+// the whole address range, the bulk "copy entire memory" fork idiom.
+func (s *Space) CopyFrom(src *Space, srcAddr, dstAddr Addr, size uint64) (CopyStats, error) {
+	var st CopyStats
+	if err := rangeCheck(srcAddr, size); err != nil {
+		return st, err
+	}
+	if err := rangeCheck(dstAddr, size); err != nil {
+		return st, err
+	}
+	if s == src && srcAddr != dstAddr {
+		return st, fmt.Errorf("vm: overlapping self-copy unsupported")
+	}
+	const tableSpan = tableEntries << l2Shift
+	if srcAddr == dstAddr && srcAddr%tableSpan == 0 && size%tableSpan == 0 {
+		// Fast path: whole level-2 tables, same offsets on both sides —
+		// share the tables themselves, copying nothing.
+		for l1 := int(srcAddr >> l1Shift); uint64(l1)<<l1Shift < uint64(srcAddr)+size; l1++ {
+			srcT := src.root[l1]
+			dstT := s.root[l1]
+			if srcT == dstT {
+				continue // already sharing (or both nil)
+			}
+			releaseTable(dstT)
+			s.root[l1] = shareTable(srcT)
+			if srcT != nil {
+				st.TablesShared++
+			}
+		}
+		return st, nil
+	}
+	for off := uint64(0); off < size; off += PageSize {
+		se := src.entry(srcAddr + Addr(off))
+		l1, l2 := split(dstAddr + Addr(off))
+		t := s.ownTable(l1)
+		if old := t.ptes[l2].pg; old != nil {
+			old.refs.Add(-1)
+		}
+		if se.pg != nil {
+			se.pg.refs.Add(1)
+			st.PagesShared++
+		} else {
+			st.PagesZeroed++
+		}
+		t.ptes[l2] = pte{pg: se.pg, perm: se.perm}
+	}
+	return st, nil
+}
+
+// Snapshot returns a COW clone of the entire space, used as the reference
+// copy for a later Merge (the Snap option of Put). It shares whole level-2
+// tables, so snapshotting costs O(mapped address space / 4 MiB).
+func (s *Space) Snapshot() (*Space, CopyStats) {
+	snap := NewSpace()
+	var st CopyStats
+	for i, t := range s.root {
+		if t == nil {
+			continue
+		}
+		snap.root[i] = shareTable(t)
+		st.TablesShared++
+	}
+	return snap, st
+}
+
+// writablePage returns the backing page for a, breaking table- and
+// page-level COW sharing and allocating lazy-zero pages as needed. The
+// caller must already have checked write permission.
+func (s *Space) writablePage(a Addr) *page {
+	l1, l2 := split(a)
+	t := s.ownTable(l1)
+	e := t.ptes[l2]
+	switch {
+	case e.pg == nil:
+		e.pg = newPage()
+		t.ptes[l2] = e
+	case e.pg.refs.Load() > 1:
+		np := newPage()
+		np.data = e.pg.data
+		e.pg.refs.Add(-1)
+		e.pg = np
+		t.ptes[l2] = e
+	}
+	return e.pg
+}
+
+// Read copies len(p) bytes starting at addr into p. The range may cross
+// page boundaries but every page touched must be mapped with PermR.
+func (s *Space) Read(addr Addr, p []byte) error {
+	for len(p) > 0 {
+		e := s.entry(addr)
+		if e.perm&PermR == 0 {
+			return &AccessError{Addr: addr, Perm: e.perm}
+		}
+		off := int(addr & pageMask)
+		n := min(PageSize-off, len(p))
+		if e.pg == nil {
+			clear(p[:n])
+		} else {
+			copy(p[:n], e.pg.data[off:off+n])
+		}
+		p = p[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// Write copies p into the space starting at addr. Every page touched must
+// be mapped with PermW; COW sharing is broken as needed.
+func (s *Space) Write(addr Addr, p []byte) error {
+	for len(p) > 0 {
+		e := s.entry(addr)
+		if e.perm&PermW == 0 {
+			return &AccessError{Addr: addr, Write: true, Perm: e.perm}
+		}
+		off := int(addr & pageMask)
+		n := min(PageSize-off, len(p))
+		pg := s.writablePage(addr)
+		copy(pg.data[off:off+n], p[:n])
+		p = p[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (s *Space) ReadU32(addr Addr) (uint32, error) {
+	var b [4]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 writes a little-endian uint32 at addr.
+func (s *Space) WriteU32(addr Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (s *Space) ReadU64(addr Addr) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (s *Space) WriteU64(addr Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// ReadF64 reads a float64 at addr.
+func (s *Space) ReadF64(addr Addr) (float64, error) {
+	v, err := s.ReadU64(addr)
+	return math.Float64frombits(v), err
+}
+
+// WriteF64 writes a float64 at addr.
+func (s *Space) WriteF64(addr Addr, v float64) error {
+	return s.WriteU64(addr, math.Float64bits(v))
+}
+
+// ReadU32s bulk-reads len(dst) little-endian uint32s starting at addr.
+func (s *Space) ReadU32s(addr Addr, dst []uint32) error {
+	buf := make([]byte, 4*len(dst))
+	if err := s.Read(addr, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return nil
+}
+
+// WriteU32s bulk-writes src as little-endian uint32s starting at addr.
+func (s *Space) WriteU32s(addr Addr, src []uint32) error {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return s.Write(addr, buf)
+}
+
+// ReadF64s bulk-reads len(dst) float64s starting at addr.
+func (s *Space) ReadF64s(addr Addr, dst []float64) error {
+	buf := make([]byte, 8*len(dst))
+	if err := s.Read(addr, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// WriteF64s bulk-writes src as float64s starting at addr.
+func (s *Space) WriteF64s(addr Addr, src []float64) error {
+	buf := make([]byte, 8*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return s.Write(addr, buf)
+}
+
+// MappedPages counts mapped pages (useful in tests and for cost accounting).
+func (s *Space) MappedPages() int {
+	n := 0
+	for _, t := range s.root {
+		if t == nil {
+			continue
+		}
+		for j := range t.ptes {
+			if t.ptes[j].mapped() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

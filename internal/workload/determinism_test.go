@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// Whole-stack determinism: every benchmark, run repeatedly on the same
+// configuration, must produce the identical checksum AND the identical
+// virtual time — the latter exercises the full cost model (copies,
+// merges, scheduling, migration) for schedule-independence.
+
+func vtAndValue(t *testing.T, spec Spec, threads, cpus, nodes, size int) (int64, uint64) {
+	t.Helper()
+	var value uint64
+	res := core.Run(core.Options{
+		Kernel:     kernel.Config{CPUsPerNode: cpus, Nodes: nodes},
+		SharedSize: spec.SharedBytes(size),
+	}, func(rt *core.RT) uint64 {
+		value = spec.Det(rt, threads, size)
+		return value
+	})
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("%s: %v %v", spec.Name, res.Status, res.Err)
+	}
+	return res.VT, value
+}
+
+func TestAllWorkloadsDeterministicVT(t *testing.T) {
+	sizes := map[string]int{
+		"md5": 1 << 10, "matmult": 32, "qsort": 1 << 11,
+		"blackscholes": 1 << 9, "fft": 1 << 9, "lu_cont": 64, "lu_noncont": 64,
+	}
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			size := sizes[spec.Name]
+			vt1, v1 := vtAndValue(t, spec, 3, 2, 1, size)
+			for i := 0; i < 3; i++ {
+				vt, v := vtAndValue(t, spec, 3, 2, 1, size)
+				if v != v1 {
+					t.Fatalf("run %d: value %d != %d", i, v, v1)
+				}
+				if vt != vt1 {
+					t.Fatalf("run %d: virtual time %d != %d (cost model nondeterministic)", i, vt, vt1)
+				}
+			}
+		})
+	}
+}
+
+func TestDistributedWorkloadsDeterministicVT(t *testing.T) {
+	type dist struct {
+		name string
+		fn   func(rt *core.RT, nodes, size int) uint64
+		size int
+	}
+	for _, d := range []dist{
+		{"md5-circuit", MD5Circuit, 1 << 10},
+		{"md5-tree", MD5Tree, 1 << 10},
+		{"matmult-tree", MatmultTree, 32},
+	} {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			run := func() (int64, uint64) {
+				var value uint64
+				res := core.Run(core.Options{
+					Kernel:     kernel.Config{Nodes: 4, CPUsPerNode: 1},
+					SharedSize: 32 << 20,
+				}, func(rt *core.RT) uint64 {
+					value = d.fn(rt, 4, d.size)
+					return value
+				})
+				if res.Status != kernel.StatusHalted {
+					t.Fatalf("%v: %v", res.Status, res.Err)
+				}
+				return res.VT, value
+			}
+			vt1, v1 := run()
+			for i := 0; i < 3; i++ {
+				vt, v := run()
+				if vt != vt1 || v != v1 {
+					t.Fatalf("run %d: (%d,%d) != (%d,%d)", i, vt, v, vt1, v1)
+				}
+			}
+		})
+	}
+}
+
+// Thread count must never change the answer, only the time.
+func TestThreadCountInvariance(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			size := map[string]int{
+				"md5": 1 << 10, "matmult": 32, "qsort": 1 << 11,
+				"blackscholes": 1 << 9, "fft": 1 << 9, "lu_cont": 64, "lu_noncont": 64,
+			}[spec.Name]
+			_, v1 := vtAndValue(t, spec, 1, 1, 1, size)
+			_, v2 := vtAndValue(t, spec, 2, 2, 1, size)
+			_, v5 := vtAndValue(t, spec, 5, 4, 1, size)
+			if v1 != v2 || v2 != v5 {
+				t.Fatalf("thread count changed the result: %d / %d / %d", v1, v2, v5)
+			}
+		})
+	}
+}

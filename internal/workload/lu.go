@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// The lu benchmarks factor a dense n×n matrix into L·U by blocked
+// Gaussian elimination without pivoting (the SPLASH-2 kernel, §6.2), in
+// two memory layouts:
+//
+//   - lu_cont ("contiguous blocks"): the matrix is stored block-major,
+//     so each B×B block is one contiguous run — a thread updating a
+//     block touches few pages;
+//   - lu_noncont ("non-contiguous"): plain row-major storage, so a block
+//     is B separate row fragments scattered across pages.
+//
+// The layouts compute identical results; the difference is purely how
+// many pages each thread's writes dirty, which is what makes the
+// non-contiguous variant disproportionately expensive under
+// Determinator's page-grained isolation — the gap Figure 7 shows.
+//
+// Every elimination step runs three phases (diagonal factor, panel
+// solves, trailing update) separated by joins, making lu the most
+// fine-grained benchmark in the suite.
+
+// luBlock is the block edge; n must be a multiple.
+const luBlock = 32
+
+const luTicksPerFlop = 2
+
+// luLayout abstracts the two storage orders at block granularity.
+type luLayout interface {
+	// readBlock loads block (bi,bj) into a B×B row-major buffer.
+	readBlock(env *envIface, bi, bj int, buf []float64)
+	// writeBlock stores a B×B row-major buffer into block (bi,bj).
+	writeBlock(env *envIface, bi, bj int, buf []float64)
+}
+
+// envIface is the small slice of kernel.Env the layouts need, broken out
+// so the sequential reference can run without a kernel underneath.
+type envIface struct {
+	readF64s  func(vm.Addr, []float64)
+	writeF64s func(vm.Addr, []float64)
+}
+
+type contLayout struct {
+	base   vm.Addr
+	blocks int // blocks per row
+}
+
+func (l contLayout) blockAddr(bi, bj int) vm.Addr {
+	return l.base + vm.Addr(8*luBlock*luBlock*(bi*l.blocks+bj))
+}
+
+func (l contLayout) readBlock(env *envIface, bi, bj int, buf []float64) {
+	env.readF64s(l.blockAddr(bi, bj), buf)
+}
+
+func (l contLayout) writeBlock(env *envIface, bi, bj int, buf []float64) {
+	env.writeF64s(l.blockAddr(bi, bj), buf)
+}
+
+type rowLayout struct {
+	base vm.Addr
+	n    int
+}
+
+func (l rowLayout) readBlock(env *envIface, bi, bj int, buf []float64) {
+	for r := 0; r < luBlock; r++ {
+		addr := l.base + vm.Addr(8*((bi*luBlock+r)*l.n+bj*luBlock))
+		env.readF64s(addr, buf[r*luBlock:(r+1)*luBlock])
+	}
+}
+
+func (l rowLayout) writeBlock(env *envIface, bi, bj int, buf []float64) {
+	for r := 0; r < luBlock; r++ {
+		addr := l.base + vm.Addr(8*((bi*luBlock+r)*l.n+bj*luBlock))
+		env.writeF64s(addr, buf[r*luBlock:(r+1)*luBlock])
+	}
+}
+
+// luGen builds the deterministic, diagonally dominant input matrix.
+func luGen(n int) []float64 {
+	a := GenF64(n*n, 0x10)
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// Dense block kernels (row-major B×B buffers).
+
+// luFactorDiag factors a diagonal block in place (Doolittle, unit lower).
+func luFactorDiag(d []float64) {
+	for k := 0; k < luBlock; k++ {
+		pivot := d[k*luBlock+k]
+		for i := k + 1; i < luBlock; i++ {
+			d[i*luBlock+k] /= pivot
+			lik := d[i*luBlock+k]
+			for j := k + 1; j < luBlock; j++ {
+				d[i*luBlock+j] -= lik * d[k*luBlock+j]
+			}
+		}
+	}
+}
+
+// luSolveRow computes U_kj: solve L_kk * X = A_kj for X, in place.
+func luSolveRow(diag, blk []float64) {
+	for k := 0; k < luBlock; k++ {
+		for i := k + 1; i < luBlock; i++ {
+			lik := diag[i*luBlock+k]
+			for j := 0; j < luBlock; j++ {
+				blk[i*luBlock+j] -= lik * blk[k*luBlock+j]
+			}
+		}
+	}
+}
+
+// luSolveCol computes L_ik: solve X * U_kk = A_ik for X, in place.
+func luSolveCol(diag, blk []float64) {
+	for k := 0; k < luBlock; k++ {
+		ukk := diag[k*luBlock+k]
+		for i := 0; i < luBlock; i++ {
+			blk[i*luBlock+k] /= ukk
+			lik := blk[i*luBlock+k]
+			for j := k + 1; j < luBlock; j++ {
+				blk[i*luBlock+j] -= lik * diag[k*luBlock+j]
+			}
+		}
+	}
+}
+
+// luUpdate computes A_ij -= L_ik * U_kj.
+func luUpdate(dst, l, u []float64) {
+	for i := 0; i < luBlock; i++ {
+		for k := 0; k < luBlock; k++ {
+			lik := l[i*luBlock+k]
+			if lik == 0 {
+				continue
+			}
+			for j := 0; j < luBlock; j++ {
+				dst[i*luBlock+j] -= lik * u[k*luBlock+j]
+			}
+		}
+	}
+}
+
+const luBlockFlops = 2 * luBlock * luBlock * luBlock
+
+// luDet runs the blocked factorization on Determinator threads with the
+// given layout.
+func luDet(rt *core.RT, threads, n int, mk func(base vm.Addr) luLayout) uint64 {
+	if n%luBlock != 0 {
+		panic("workload: lu size must be a multiple of the block size")
+	}
+	base := rt.Alloc(uint64(8*n*n), vm.PageSize)
+	nb := n / luBlock
+
+	// Load the input in the chosen layout.
+	a := luGen(n)
+	lay := mk(base)
+	parentEnv := &envIface{readF64s: rt.Env().ReadF64s, writeF64s: rt.Env().WriteF64s}
+	buf := make([]float64, luBlock*luBlock)
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			for r := 0; r < luBlock; r++ {
+				copy(buf[r*luBlock:], a[(bi*luBlock+r)*n+bj*luBlock:][:luBlock])
+			}
+			lay.writeBlock(parentEnv, bi, bj, buf)
+		}
+	}
+
+	diag := make([]float64, luBlock*luBlock)
+	for k := 0; k < nb; k++ {
+		// Phase 1 (parent): factor the diagonal block.
+		lay.readBlock(parentEnv, k, k, diag)
+		luFactorDiag(diag)
+		rt.Env().Tick(luBlockFlops / 3 * luTicksPerFlop)
+		lay.writeBlock(parentEnv, k, k, diag)
+
+		// Phase 2: panel solves in parallel.
+		panels := make([][2]int, 0, 2*(nb-k-1))
+		for j := k + 1; j < nb; j++ {
+			panels = append(panels, [2]int{k, j}) // row panel U_kj
+			panels = append(panels, [2]int{j, k}) // col panel L_jk
+		}
+		luParallelBlocks(rt, threads, panels, func(env *envIface, t *core.Thread, b [2]int) {
+			blk := make([]float64, luBlock*luBlock)
+			d := make([]float64, luBlock*luBlock)
+			lay.readBlock(env, k, k, d)
+			lay.readBlock(env, b[0], b[1], blk)
+			if b[0] == k {
+				luSolveRow(d, blk)
+			} else {
+				luSolveCol(d, blk)
+			}
+			t.Env().Tick(luBlockFlops / 2 * luTicksPerFlop)
+			lay.writeBlock(env, b[0], b[1], blk)
+		})
+
+		// Phase 3: trailing submatrix update in parallel.
+		var trail [][2]int
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				trail = append(trail, [2]int{i, j})
+			}
+		}
+		luParallelBlocks(rt, threads, trail, func(env *envIface, t *core.Thread, b [2]int) {
+			dst := make([]float64, luBlock*luBlock)
+			l := make([]float64, luBlock*luBlock)
+			u := make([]float64, luBlock*luBlock)
+			lay.readBlock(env, b[0], b[1], dst)
+			lay.readBlock(env, b[0], k, l)
+			lay.readBlock(env, k, b[1], u)
+			luUpdate(dst, l, u)
+			t.Env().Tick(luBlockFlops * luTicksPerFlop)
+			lay.writeBlock(env, b[0], b[1], dst)
+		})
+	}
+
+	// Checksum the factored matrix in row-major order, independent of
+	// layout, so lu_cont and lu_noncont agree.
+	out := make([]float64, n*n)
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			lay.readBlock(parentEnv, bi, bj, buf)
+			for r := 0; r < luBlock; r++ {
+				copy(out[(bi*luBlock+r)*n+bj*luBlock:], buf[r*luBlock:(r+1)*luBlock])
+			}
+		}
+	}
+	return ChecksumF64(out)
+}
+
+// luParallelBlocks forks up to `threads` workers, striping the block
+// list, and joins them (one fork/join round per phase).
+func luParallelBlocks(rt *core.RT, threads int, blocks [][2]int,
+	fn func(env *envIface, t *core.Thread, b [2]int)) {
+	if len(blocks) == 0 {
+		return
+	}
+	if threads > len(blocks) {
+		threads = len(blocks)
+	}
+	if _, err := rt.ParallelDo(threads, func(t *core.Thread) uint64 {
+		env := &envIface{readF64s: t.Env().ReadF64s, writeF64s: t.Env().WriteF64s}
+		lo, hi := stripe(len(blocks), threads, t.ID)
+		for _, b := range blocks[lo:hi] {
+			fn(env, t, b)
+		}
+		return 0
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// LUContDet is the contiguous-blocks variant.
+func LUContDet(rt *core.RT, threads, n int) uint64 {
+	return luDet(rt, threads, n, func(base vm.Addr) luLayout {
+		return contLayout{base: base, blocks: n / luBlock}
+	})
+}
+
+// LUNoncontDet is the row-major (non-contiguous) variant.
+func LUNoncontDet(rt *core.RT, threads, n int) uint64 {
+	return luDet(rt, threads, n, func(base vm.Addr) luLayout {
+		return rowLayout{base: base, n: n}
+	})
+}
+
+// LUSeq is the sequential reference: identical block kernels applied in
+// the same order on a plain slice.
+func LUSeq(n int) uint64 {
+	if n%luBlock != 0 {
+		panic("workload: lu size must be a multiple of the block size")
+	}
+	a := luGen(n)
+	nb := n / luBlock
+	get := func(bi, bj int, buf []float64) {
+		for r := 0; r < luBlock; r++ {
+			copy(buf[r*luBlock:], a[(bi*luBlock+r)*n+bj*luBlock:][:luBlock])
+		}
+	}
+	put := func(bi, bj int, buf []float64) {
+		for r := 0; r < luBlock; r++ {
+			copy(a[(bi*luBlock+r)*n+bj*luBlock:][:luBlock], buf[r*luBlock:])
+		}
+	}
+	d := make([]float64, luBlock*luBlock)
+	blk := make([]float64, luBlock*luBlock)
+	l := make([]float64, luBlock*luBlock)
+	u := make([]float64, luBlock*luBlock)
+	for k := 0; k < nb; k++ {
+		get(k, k, d)
+		luFactorDiag(d)
+		put(k, k, d)
+		for j := k + 1; j < nb; j++ {
+			get(k, j, blk)
+			luSolveRow(d, blk)
+			put(k, j, blk)
+			get(j, k, blk)
+			luSolveCol(d, blk)
+			put(j, k, blk)
+		}
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				get(i, j, blk)
+				get(i, k, l)
+				get(k, j, u)
+				luUpdate(blk, l, u)
+				put(i, j, blk)
+			}
+		}
+	}
+	return ChecksumF64(a)
+}
