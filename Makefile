@@ -1,0 +1,32 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make ci`,
+# so the pipeline and developers exercise exactly the same commands.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Full-size experiment tables (slow); see also `go run ./cmd/detbench`.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# One quick experiment end to end: proves the bench harness still runs.
+bench-smoke:
+	$(GO) test -bench=Fig4 -benchtime=1x -run='^$$' .
+
+ci: build vet fmt-check test race bench-smoke

@@ -2,12 +2,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -29,15 +31,16 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkFig4(b *testing.B)    { benchExperiment(b, "fig4") }
-func BenchmarkFig7(b *testing.B)    { benchExperiment(b, "fig7") }
-func BenchmarkFig8(b *testing.B)    { benchExperiment(b, "fig8") }
-func BenchmarkFig9(b *testing.B)    { benchExperiment(b, "fig9") }
-func BenchmarkFig10(b *testing.B)   { benchExperiment(b, "fig10") }
-func BenchmarkFig11(b *testing.B)   { benchExperiment(b, "fig11") }
-func BenchmarkFig12(b *testing.B)   { benchExperiment(b, "fig12") }
-func BenchmarkQuantum(b *testing.B) { benchExperiment(b, "quantum") }
-func BenchmarkTab3(b *testing.B)    { benchExperiment(b, "tab3") }
+func BenchmarkFig4(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkMergeTable(b *testing.B) { benchExperiment(b, "merge") }
+func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkQuantum(b *testing.B)    { benchExperiment(b, "quantum") }
+func BenchmarkTab3(b *testing.B)       { benchExperiment(b, "tab3") }
 
 // Per-workload micro-benchmarks: each benchmark kernel on Determinator
 // and on the nondeterministic baseline, at a fixed small size, so
@@ -118,6 +121,40 @@ func BenchmarkForkJoinThread(b *testing.B) {
 	})
 	if res.Status != kernel.StatusHalted {
 		b.Fatalf("%v: %v", res.Status, res.Err)
+	}
+}
+
+// BenchmarkMerge pits the serial and parallel merge engines against each
+// other on a dirty-heavy 4-thread join: four children each dirty their
+// entire quarter of a 64 MiB region, the parent touches every page so the
+// merges take the byte-compare slow path, and all four are joined in
+// thread-id order. The two sub-benchmarks do byte-identical work (the vm
+// property tests prove it); the delta is pure engine wall-clock.
+func BenchmarkMerge(b *testing.B) {
+	const (
+		mergePages   = 16 * 1024 // 64 MiB
+		mergeThreads = 4
+	)
+	workers := runtime.GOMAXPROCS(0)
+	for _, eng := range []struct {
+		name string
+		cfg  vm.MergeConfig
+	}{
+		{"serial", vm.MergeConfig{}},
+		{fmt.Sprintf("parallel%d", workers), vm.MergeConfig{Workers: workers}},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			w := bench.BuildMergeWorkload(mergePages, mergeThreads, 1.0, true)
+			defer w.Free()
+			b.ResetTimer()
+			var stats vm.MergeStats
+			for i := 0; i < b.N; i++ {
+				stats, _ = w.JoinAll(eng.cfg)
+			}
+			b.ReportMetric(float64(stats.PagesCompared), "pages-compared/op")
+			b.ReportMetric(float64(stats.PtesScanned), "ptes-scanned/op")
+			b.SetBytes(int64(stats.PagesCompared) * vm.PageSize)
+		})
 	}
 }
 

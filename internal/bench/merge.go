@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/vm"
+)
+
+// MergeEngine measures the parallel merge engine directly at the vm layer:
+// join throughput versus dirty fraction and thread count, serial versus
+// parallel workers, plus the pte-scan reduction from dirty-page tracking.
+// Two workload shapes bracket the join cost space:
+//
+//   - adopt: only the children write, so every dirtied page is adopted by
+//     pointer move — the cheapest possible join;
+//   - compare: the parent touches every page after forking, so every
+//     dirtied child page is byte-compared — the 4 KiB-per-page slow path
+//     that dominates fine-grained workloads, and the one host parallelism
+//     accelerates.
+//
+// Merge results are engine-independent (see the vm property tests); these
+// rows report the wall-clock and iteration effort behind that equivalence.
+func MergeEngine(o Options) Table {
+	pages := 16 * 1024 // 64 MiB shared region, 16 level-2 tables
+	threadSteps := []int{1, 2, 4, 8}
+	dirtyFracs := []float64{0.1, 1.0}
+	if o.Quick {
+		pages = 4 * 1024
+		threadSteps = []int{2, 4}
+	}
+	// Floor the worker count so the concurrent engine is exercised (and
+	// its coordination overhead visible) even on small hosts; extra
+	// workers beyond GOMAXPROCS cannot help, only cost a little.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+
+	t := Table{
+		ID: "merge",
+		Title: fmt.Sprintf("merge engine: serial vs %d-worker parallel join (%d-page region)",
+			workers, pages),
+		Header: []string{"scenario", "threads", "dirty", "serial", "parallel", "speedup",
+			"scan-full", "scan-dirty", "adopted", "compared"},
+	}
+	for _, scenario := range []string{"adopt", "compare"} {
+		for _, threads := range threadSteps {
+			for _, frac := range dirtyFracs {
+				r := measureMerge(pages, threads, frac, scenario == "compare", workers)
+				t.AddRow(scenario, iv(int64(threads)), pct(frac),
+					ms(r.serial.Seconds()*1000), ms(r.parallel.Seconds()*1000),
+					f2(r.serial.Seconds()/r.parallel.Seconds()),
+					iv(int64(r.scanFull)), iv(int64(r.scanDirty)),
+					iv(int64(r.adopted)), iv(int64(r.compared)))
+			}
+		}
+	}
+	t.Note("serial/parallel join the same %d children; dirty tracking cuts scan-full to scan-dirty;", threadSteps[len(threadSteps)-1])
+	t.Note("compare rows byte-compare every dirty page (parent touched), adopt rows move ptes only.")
+	t.Note("wall columns are host measurements; merged bytes, stats and conflicts are identical throughout.")
+	return t
+}
+
+// MergeWorkload is a reusable fork scenario: a fully-written parent and
+// per-thread children that each dirtied a fraction of their partition.
+// It is shared between the merge experiment table and the repo-root
+// BenchmarkMerge so both measure exactly the same work.
+type MergeWorkload struct {
+	Parent   *vm.Space
+	Children []*vm.Space
+	Snaps    []*vm.Space
+	Span     uint64
+}
+
+// BuildMergeWorkload forks threads children off a fully-written parent of
+// the given page count; each child dirties frac of its partition with
+// bytes that differ from the snapshot. With parentDirty the parent then
+// touches one byte of every page, so child-dirtied pages cannot be
+// adopted and every join takes the byte-compare slow path.
+func BuildMergeWorkload(pages, threads int, frac float64, parentDirty bool) *MergeWorkload {
+	w := &MergeWorkload{Span: uint64(pages) * vm.PageSize}
+	w.Parent = vm.NewSpace()
+	if err := w.Parent.SetPerm(0, w.Span, vm.PermRW); err != nil {
+		panic(err)
+	}
+	buf := make([]byte, vm.PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for p := 0; p < pages; p++ {
+		if err := w.Parent.Write(vm.Addr(p)*vm.PageSize, buf); err != nil {
+			panic(err)
+		}
+	}
+	inv := make([]byte, 128)
+	for i := range inv {
+		inv[i] = ^buf[128+i]
+	}
+	per := pages / threads
+	for c := 0; c < threads; c++ {
+		child := vm.NewSpace()
+		child.CopyAllFrom(w.Parent)
+		snap, _ := child.Snapshot()
+		dirty := int(float64(per) * frac)
+		for p := 0; p < dirty; p++ {
+			// 128 bytes that differ from the snapshot, placed away from
+			// the byte the parent may dirty so no conflict arises.
+			a := vm.Addr(c*per+p)*vm.PageSize + 128
+			if err := child.Write(a, inv); err != nil {
+				panic(err)
+			}
+		}
+		w.Children = append(w.Children, child)
+		w.Snaps = append(w.Snaps, snap)
+	}
+	if parentDirty {
+		for p := 0; p < pages; p++ {
+			if err := w.Parent.Write(vm.Addr(p)*vm.PageSize+7, []byte{0xa5}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return w
+}
+
+// JoinAll merges every child into a fresh COW copy of the parent, in
+// thread-id order, and reports the summed stats and wall time.
+func (w *MergeWorkload) JoinAll(cfg vm.MergeConfig) (vm.MergeStats, time.Duration) {
+	dst := vm.NewSpace()
+	dst.CopyAllFrom(w.Parent)
+	var total vm.MergeStats
+	start := time.Now()
+	for c := range w.Children {
+		st, err := vm.MergeEx(dst, w.Children[c], w.Snaps[c], 0, w.Span, cfg)
+		if err != nil {
+			panic(err)
+		}
+		total.TablesAdopted += st.TablesAdopted
+		total.PagesAdopted += st.PagesAdopted
+		total.PagesCompared += st.PagesCompared
+		total.BytesMerged += st.BytesMerged
+		total.PtesScanned += st.PtesScanned
+	}
+	wall := time.Since(start)
+	dst.Free()
+	return total, wall
+}
+
+// Free releases every space the workload holds.
+func (w *MergeWorkload) Free() {
+	for i := range w.Children {
+		w.Children[i].Free()
+		w.Snaps[i].Free()
+	}
+	w.Parent.Free()
+}
+
+type mergeMeasurement struct {
+	serial, parallel    time.Duration
+	scanFull, scanDirty int
+	adopted, compared   int
+}
+
+func measureMerge(pages, threads int, frac float64, parentDirty bool, workers int) mergeMeasurement {
+	w := BuildMergeWorkload(pages, threads, frac, parentDirty)
+	defer w.Free()
+	var m mergeMeasurement
+	// The full-scan join exists only for its deterministic PtesScanned
+	// counter; one untimed run suffices.
+	full, _ := w.JoinAll(vm.MergeConfig{NoDirtyHints: true})
+	m.scanFull = full.PtesScanned
+	const reps = 3
+	for r := 0; r < reps; r++ {
+		st, serial := w.JoinAll(vm.MergeConfig{})
+		_, parallel := w.JoinAll(vm.MergeConfig{Workers: workers})
+		if r == 0 || serial < m.serial {
+			m.serial = serial
+		}
+		if r == 0 || parallel < m.parallel {
+			m.parallel = parallel
+		}
+		m.scanDirty = st.PtesScanned
+		m.adopted = st.PagesAdopted
+		m.compared = st.PagesCompared
+	}
+	return m
+}

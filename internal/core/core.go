@@ -207,12 +207,21 @@ func (rt *RT) joinOn(node, id int) (uint64, error) {
 // ParallelDo forks threads 0..n-1 running fn and joins them all,
 // returning their results. The first error (conflict or crash) aborts
 // with that error after all threads have been collected.
+//
+// Collection is concurrent: a bounded worker pool (WaitChildren) overlaps
+// the waits for all ready children instead of blocking on thread 0 while
+// later threads sit finished. The merges themselves are then applied
+// strictly in thread-id order — merging into a single parent replica is
+// order-sensitive at the byte level, so id order is what keeps results,
+// errors and conflicts schedule-independent — with each merge internally
+// parallelized by the kernel (Config.MergeWorkers).
 func (rt *RT) ParallelDo(n int, fn ThreadFunc) ([]uint64, error) {
 	for i := 0; i < n; i++ {
 		if err := rt.Fork(i, fn); err != nil {
 			return nil, err
 		}
 	}
+	rt.waitThreads(ids(n))
 	res := make([]uint64, n)
 	var firstErr error
 	for i := 0; i < n; i++ {
@@ -223,6 +232,26 @@ func (rt *RT) ParallelDo(n int, fn ThreadFunc) ([]uint64, error) {
 		res[i] = v
 	}
 	return res, firstErr
+}
+
+// ids returns [0, n).
+func ids(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// waitThreads overlaps the physical waiting for the listed threads on the
+// kernel's bounded pool; see Env.WaitChildren for why this cannot change
+// any observable result.
+func (rt *RT) waitThreads(threadIDs []int) {
+	refs := make([]uint64, len(threadIDs))
+	for i, id := range threadIDs {
+		refs[i] = rt.ref(-1, id)
+	}
+	rt.env.WaitChildren(refs)
 }
 
 // Barrier, called from a thread, stops the thread until the parent
@@ -237,7 +266,13 @@ func (t *Thread) Barrier() {
 // Barrier (merging changes), then redistributes the combined state and
 // resumes the threads. A thread that halts instead of reaching the
 // barrier stays halted; its final merge still occurs.
+//
+// Like ParallelDo, the round first gathers all ready threads concurrently
+// (bounded pool), then applies their merges in thread-id order so every
+// round's combined state — and any conflict it raises — is independent of
+// which thread happened to arrive first.
 func (rt *RT) BarrierRound(ids []int) error {
+	rt.waitThreads(ids)
 	for _, id := range ids {
 		info, err := rt.env.Get(rt.ref(-1, id), kernel.GetOpts{
 			Merge:      true,

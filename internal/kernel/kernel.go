@@ -22,6 +22,7 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/vm"
@@ -35,6 +36,7 @@ type CostModel struct {
 	Syscall      int64 // fixed cost of any Put/Get/Ret
 	PageCopy     int64 // sharing one page COW (pte manipulation)
 	PageCompare  int64 // byte-comparing one page during Merge
+	PageAdopt    int64 // adopting one merge page whose parent copy is untouched (pte move); 0 = PageCopy
 	ByteMerge    int64 // folding one changed byte into the parent
 	MigrateMsg   int64 // one cross-node protocol round trip (migration or page request)
 	PageTransfer int64 // moving one 4 KiB page across the wire
@@ -48,11 +50,21 @@ func DefaultCostModel() CostModel {
 		Syscall:      2_000,
 		PageCopy:     150,
 		PageCompare:  4_096,
+		PageAdopt:    150, // a pte move, like PageCopy — 27x cheaper than a byte compare
 		ByteMerge:    2,
 		MigrateMsg:   100_000, // ~50 µs round trip at 2 GIPS
 		PageTransfer: 70_000,  // 4 KiB at ~1 Gb/s, ~35 µs
 		TCPExtra:     2_000,
 	}
+}
+
+// pageAdopt returns the adopted-page merge charge, defaulting to PageCopy
+// for cost models written before the adopt/compare distinction existed.
+func (c CostModel) pageAdopt() int64 {
+	if c.PageAdopt != 0 {
+		return c.PageAdopt
+	}
+	return c.PageCopy
 }
 
 // Config describes the simulated machine.
@@ -66,17 +78,23 @@ type Config struct {
 	// DisableROCache turns off per-node caching of read-only pages for
 	// re-migrating spaces (an ablation of the optimization in §3.3).
 	DisableROCache bool
+	// MergeWorkers is the host parallelism applied to each Merge during
+	// Get (0 = GOMAXPROCS, 1 = serial). It affects wall-clock speed only:
+	// merge results, statistics and therefore virtual times are identical
+	// at every setting.
+	MergeWorkers int
 }
 
 // Machine is the simulated hardware plus kernel state: a set of nodes, the
 // cost model, and the I/O devices reachable only from the root space.
 type Machine struct {
-	cost    CostModel
-	nodes   []*node
-	console *Console
-	clock   ClockFunc
-	rand    RandFunc
-	noCache bool
+	cost         CostModel
+	nodes        []*node
+	console      *Console
+	clock        ClockFunc
+	rand         RandFunc
+	noCache      bool
+	mergeWorkers int
 
 	wg   sync.WaitGroup // all space goroutines ever started
 	root *Space
@@ -142,12 +160,16 @@ func New(cfg Config) *Machine {
 	if cfg.Rand == nil {
 		cfg.Rand = SeededRand(1)
 	}
+	if cfg.MergeWorkers <= 0 {
+		cfg.MergeWorkers = runtime.GOMAXPROCS(0)
+	}
 	m := &Machine{
-		cost:    cfg.Cost,
-		console: cfg.Console,
-		clock:   cfg.Clock,
-		rand:    cfg.Rand,
-		noCache: cfg.DisableROCache,
+		cost:         cfg.Cost,
+		console:      cfg.Console,
+		clock:        cfg.Clock,
+		rand:         cfg.Rand,
+		noCache:      cfg.DisableROCache,
+		mergeWorkers: cfg.MergeWorkers,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		m.nodes = append(m.nodes, &node{id: i, cpus: cfg.CPUsPerNode})

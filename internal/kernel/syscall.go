@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"runtime"
+
 	"repro/internal/vm"
 )
 
@@ -249,10 +251,14 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 		if o.MergeLWW {
 			mode = vm.MergeLastWriter
 		}
-		st, err := vm.MergeWith(sp.mem, child.mem, child.snap, r.Addr, r.Size, mode)
+		st, err := vm.MergeParallel(sp.mem, child.mem, child.snap, r.Addr, r.Size, mode, sp.m.mergeWorkers)
+		// Adopted pages are pte moves; compared pages walk all 4 KiB.
+		// Charging them separately keeps join cost proportional to data
+		// actually reconciled, not to pages merely mapped.
 		sp.chargeVT(int64(st.PagesCompared)*cost.PageCompare +
 			int64(st.BytesMerged)*cost.ByteMerge +
-			int64(st.TablesAdopted+st.PagesAdopted)*cost.PageCopy)
+			int64(st.TablesAdopted)*cost.PageCopy +
+			int64(st.PagesAdopted)*cost.pageAdopt())
 		if len(sp.m.nodes) > 1 && sp.fetched != nil {
 			// The merge needed both sides' page data on this node, and the
 			// merged result must eventually reach the parent's home copy:
@@ -277,6 +283,30 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 		sp.cloneTree(dst, child)
 	}
 	return info, nil
+}
+
+// waitChildren blocks until every named child that exists has stopped,
+// using a GOMAXPROCS-bounded worker pool. It performs no state operation,
+// creates no children, charges no virtual time and does not migrate the
+// caller — it is a pure host-level latency hint that lets a collector
+// overlap the physical waiting for many children, after which the real
+// Get/Put rendezvous (still issued one at a time, in program order) find
+// the children already stopped. Skipping it never changes any result.
+func (sp *Space) waitChildren(refs []uint64) {
+	var ready []*Space
+	for _, ref := range refs {
+		node, idx, err := sp.splitChildRef(ref)
+		if err != nil {
+			continue
+		}
+		key := uint64(node.id+1)<<nodeShift | idx
+		if child := sp.children[key]; child != nil {
+			ready = append(ready, child)
+		}
+	}
+	vm.ParallelFor(len(ready), runtime.GOMAXPROCS(0), func(i int) {
+		ready[i].waitStopped()
+	})
 }
 
 // cloneTree deep-copies src's state (memory, snapshot, registers and all

@@ -3,6 +3,9 @@ package vm
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // zeroData backs lazy-zero pages during comparisons.
@@ -16,12 +19,25 @@ func dataOf(pg *page) *[PageSize]byte {
 }
 
 // MergeStats reports the work done by a Merge, for the kernel's
-// virtual-time cost model.
+// virtual-time cost model. The semantic fields (adopted, compared, merged)
+// depend only on the three spaces' contents, never on how the merge was
+// executed: serial, parallel and dirty-guided walks all report identical
+// values. PtesScanned is the exception — it counts iteration effort, which
+// is exactly what dirty tracking exists to shrink.
 type MergeStats struct {
 	TablesAdopted int // whole child tables adopted (parent untouched since snapshot)
 	PagesAdopted  int // child pages adopted wholesale (parent page untouched)
 	PagesCompared int // pages byte-compared on the slow path
 	BytesMerged   int // individual bytes copied into the parent
+	PtesScanned   int // level-2 entries examined: O(mapped) unguided, O(dirtied) guided
+}
+
+func (s *MergeStats) add(o MergeStats) {
+	s.TablesAdopted += o.TablesAdopted
+	s.PagesAdopted += o.PagesAdopted
+	s.PagesCompared += o.PagesCompared
+	s.BytesMerged += o.BytesMerged
+	s.PtesScanned += o.PtesScanned
 }
 
 // MergeConflictError reports write/write conflicts found during a Merge:
@@ -29,7 +45,7 @@ type MergeStats struct {
 // by the parent. Determinator treats this as a runtime exception, like
 // divide-by-zero; it is reliably detected regardless of execution schedule.
 type MergeConflictError struct {
-	Addrs []Addr // first few conflicting byte addresses
+	Addrs []Addr // first few conflicting byte addresses, in address order
 	Total int    // total conflicting bytes
 }
 
@@ -57,6 +73,24 @@ const (
 	MergeLastWriter
 )
 
+// MergeConfig selects how a merge is executed. Execution choices never
+// change the outcome — only wall-clock cost and the PtesScanned counter.
+type MergeConfig struct {
+	// Mode selects conflict handling (MergeStrict or MergeLastWriter).
+	Mode MergeMode
+	// Workers is the level of host parallelism: table partitions are
+	// byte-compared by up to this many goroutines. Values <= 1 run
+	// serially. Explicit values are honored as given; callers wanting
+	// "as parallel as the host allows" use MergeParallel with
+	// workers <= 0, which selects GOMAXPROCS.
+	Workers int
+	// NoDirtyHints disables dirty-bitmap-guided iteration, forcing the
+	// full per-table pte scan even when the hints are available. The
+	// result is identical; benchmarks and the equivalence property test
+	// use this to measure and verify the unguided path.
+	NoDirtyHints bool
+}
+
 // Merge folds the child's changes since its reference snapshot into dst
 // (the parent), over the page-aligned range [addr, addr+size). For every
 // byte that differs between cur (the child's current state) and ref (the
@@ -69,28 +103,98 @@ const (
 // workspace model deterministic: the outcome depends only on which bytes
 // each side wrote, never on when they wrote them.
 func Merge(dst, cur, ref *Space, addr Addr, size uint64) (MergeStats, error) {
-	return MergeWith(dst, cur, ref, addr, size, MergeStrict)
+	return MergeEx(dst, cur, ref, addr, size, MergeConfig{Mode: MergeStrict})
 }
 
 // MergeWith is Merge with an explicit conflict-handling mode.
 func MergeWith(dst, cur, ref *Space, addr Addr, size uint64, mode MergeMode) (MergeStats, error) {
+	return MergeEx(dst, cur, ref, addr, size, MergeConfig{Mode: mode})
+}
+
+// MergeParallel is MergeWith with the page comparisons spread over up to
+// workers goroutines (<= 0 selects GOMAXPROCS). Partitions are combined in
+// address order, so the destination bytes, statistics and conflict list
+// are identical to the serial Merge no matter how the workers are
+// scheduled — parallelism buys wall-clock speed, nothing else.
+func MergeParallel(dst, cur, ref *Space, addr Addr, size uint64, mode MergeMode, workers int) (MergeStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return MergeEx(dst, cur, ref, addr, size, MergeConfig{Mode: mode, Workers: workers})
+}
+
+// ParallelFor runs fn(0), ..., fn(n-1) with up to workers goroutines
+// claiming indices from a shared counter; workers <= 1 runs inline, in
+// order. It is the bounded pool behind the parallel merge engine, also
+// used by the kernel's concurrent child collection. fn must make the
+// usual disjointness guarantee: invocations for different indices touch
+// no common mutable state.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// tableJob is one unit of merge work: the slice [lo, hi) of the level-2
+// table at level-1 index l1, optionally narrowed by a dirty bitmap.
+type tableJob struct {
+	l1, lo, hi int
+	db         *dirtyBits // nil: scan every pte in [lo, hi)
+}
+
+// tableResult collects one job's contribution, combined in address order.
+type tableResult struct {
+	st       MergeStats
+	conflict MergeConflictError
+}
+
+// MergeEx is the full-control merge entry point; see MergeConfig.
+func MergeEx(dst, cur, ref *Space, addr Addr, size uint64, cfg MergeConfig) (MergeStats, error) {
 	var st MergeStats
 	if err := rangeCheck(addr, size); err != nil {
 		return st, err
 	}
-	conflict := &MergeConflictError{}
+	guided := !cfg.NoDirtyHints && dirtyGuided(cur, ref)
 
 	// Walk only the level-2 tables that exist in the child: the snapshot
 	// was taken from the child, so any page mapped in ref is mapped in cur.
+	// A table the child never touched is still pointer-shared with the
+	// snapshot and is skipped outright; when dirty hints are trustworthy,
+	// an untouched table additionally has no bitmap at all.
 	end := uint64(addr) + size
+	var jobs []tableJob
 	for l1 := int(addr >> l1Shift); uint64(l1)<<l1Shift < end; l1++ {
 		ct := cur.root[l1]
-		if ct == nil {
-			continue
-		}
-		rt := ref.root[l1]
-		if ct == rt {
+		if ct == nil || ct == ref.root[l1] {
 			continue // child did not touch this whole 4 MiB span
+		}
+		var db *dirtyBits
+		if guided {
+			if db = cur.dirty[l1]; db == nil {
+				continue
+			}
 		}
 		base := uint64(l1) << l1Shift
 		lo, hi := 0, tableEntries
@@ -100,43 +204,102 @@ func MergeWith(dst, cur, ref *Space, addr Addr, size uint64, mode MergeMode) (Me
 		if base+(tableEntries<<l2Shift) > end {
 			hi = int((end - base) >> l2Shift)
 		}
-		if dt := dst.root[l1]; dt == rt && lo == 0 && hi == tableEntries {
-			// The parent still shares the snapshot's table: it has not
-			// touched this span since the fork, so adopting the child's
-			// whole table is byte-for-byte equivalent to merging it.
-			// Count the pages that actually changed (pointer compares)
-			// so the cost model still sees the real data volume.
-			for l2 := 0; l2 < tableEntries; l2++ {
-				var rp *page
-				if rt != nil {
-					rp = rt.ptes[l2].pg
-				}
-				if ct.ptes[l2].pg != rp {
-					st.PagesAdopted++
-				}
-			}
-			releaseTable(dt)
-			dst.root[l1] = shareTable(ct)
-			st.TablesAdopted++
-			continue
+		jobs = append(jobs, tableJob{l1: l1, lo: lo, hi: hi, db: db})
+	}
+
+	workers := cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	conflict := &MergeConflictError{}
+	if workers <= 1 {
+		for _, j := range jobs {
+			mergeTable(dst, cur, ref, j, cfg.Mode, &st, conflict)
 		}
-		for l2 := lo; l2 < hi; l2++ {
-			ce := ct.ptes[l2]
-			var re pte
-			if rt != nil {
-				re = rt.ptes[l2]
+	} else {
+		// Each job owns a distinct level-1 slot of dst (root pointer,
+		// table, dirty bitmap), so workers write disjoint state; page
+		// reference counts are atomic. Jobs are claimed from a shared
+		// counter but their results are indexed by job, and combined
+		// below in ascending address order — identical to serial.
+		results := make([]tableResult, len(jobs))
+		ParallelFor(len(jobs), workers, func(i int) {
+			mergeTable(dst, cur, ref, jobs[i], cfg.Mode,
+				&results[i].st, &results[i].conflict)
+		})
+		for i := range results {
+			st.add(results[i].st)
+			for _, a := range results[i].conflict.Addrs {
+				if len(conflict.Addrs) < maxReportedConflicts {
+					conflict.Addrs = append(conflict.Addrs, a)
+				}
 			}
-			if ce.pg == re.pg {
-				continue // child did not change this page
-			}
-			pa := Addr(base) + Addr(l2)<<l2Shift
-			mergePage(dst, pa, ce, re, mode, &st, conflict)
+			conflict.Total += results[i].conflict.Total
 		}
 	}
 	if conflict.Total > 0 {
 		return st, conflict
 	}
 	return st, nil
+}
+
+// mergeTable merges one job's slice of a level-2 table into dst. It is the
+// unit of parallelism: everything it mutates hangs off dst's level-1 slot
+// job.l1, which the job owns exclusively.
+func mergeTable(dst, cur, ref *Space, job tableJob, mode MergeMode, st *MergeStats, conflict *MergeConflictError) {
+	l1 := job.l1
+	ct := cur.root[l1]
+	rt := ref.root[l1]
+	if dt := dst.root[l1]; dt == rt && job.lo == 0 && job.hi == tableEntries {
+		// The parent still shares the snapshot's table: it has not
+		// touched this span since the fork, so adopting the child's
+		// whole table is byte-for-byte equivalent to merging it.
+		// Count the pages that actually changed (pointer compares)
+		// so the cost model still sees the real data volume.
+		count := func(l2 int) {
+			st.PtesScanned++
+			var rp *page
+			if rt != nil {
+				rp = rt.ptes[l2].pg
+			}
+			if ct.ptes[l2].pg != rp {
+				st.PagesAdopted++
+			}
+		}
+		if job.db != nil {
+			job.db.forEachSetBit(0, tableEntries, count)
+		} else {
+			for l2 := 0; l2 < tableEntries; l2++ {
+				count(l2)
+			}
+		}
+		releaseTable(dt)
+		dst.root[l1] = shareTable(ct)
+		dst.markTableDirty(l1)
+		st.TablesAdopted++
+		return
+	}
+	visit := func(l2 int) {
+		st.PtesScanned++
+		ce := ct.ptes[l2]
+		var re pte
+		if rt != nil {
+			re = rt.ptes[l2]
+		}
+		if ce.pg == re.pg {
+			return // child did not change this page
+		}
+		pa := Addr(uint64(l1)<<l1Shift) + Addr(l2)<<l2Shift
+		mergePage(dst, pa, ce, re, mode, st, conflict)
+	}
+	if job.db != nil {
+		job.db.forEachSetBit(job.lo, job.hi, visit)
+	} else {
+		for l2 := job.lo; l2 < job.hi; l2++ {
+			visit(l2)
+		}
+	}
 }
 
 // mergePage merges one child page at address pa into dst.
@@ -160,6 +323,7 @@ func mergePage(dst *Space, pa Addr, ce, re pte, mode MergeMode, st *MergeStats, 
 			perm = ce.perm
 		}
 		t.ptes[l2] = pte{pg: ce.pg, perm: perm}
+		dst.markDirty(pa)
 		st.PagesAdopted++
 		return
 	}
@@ -217,5 +381,6 @@ func (s *Space) CopyAllFrom(src *Space) CopyStats {
 			st.TablesShared++
 		}
 	}
+	s.markAllDirty()
 	return st
 }

@@ -1,0 +1,325 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property test for the merge engine: serial, parallel, dirty-guided and
+// full-scan walks of the same (dst, cur, ref) triple must produce
+// byte-identical destination spaces, identical semantic MergeStats, and
+// identical conflict address lists — in both conflict modes, across
+// randomized dirty patterns on both sides of the fork. Run under -race
+// this also exercises the parallel workers' ownership discipline.
+
+// propSpan covers two whole level-2 tables plus a partial third, so the
+// walk exercises whole-table adoption, partial-table clamping, and
+// multi-table parallel partitioning in one scenario.
+const propSpan = 2*(tableEntries*PageSize) + 64*PageSize
+
+// memOp is one recorded mutation, replayable onto identical space copies.
+type memOp struct {
+	addr Addr
+	data []byte // nil: Zero the page at addr
+}
+
+func applyOps(t *testing.T, s *Space, ops []memOp) {
+	t.Helper()
+	for _, op := range ops {
+		if op.data == nil {
+			if err := s.Zero(alignDown(op.addr), PageSize, PermRW); err != nil {
+				t.Fatalf("Zero(%#x): %v", op.addr, err)
+			}
+			continue
+		}
+		if err := s.Write(op.addr, op.data); err != nil {
+			t.Fatalf("Write(%#x, %d bytes): %v", op.addr, len(op.data), err)
+		}
+	}
+}
+
+// randOps draws n mutations with addresses below span.
+func randOps(rng *rand.Rand, n int, span int64) []memOp {
+	ops := make([]memOp, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(8) == 0 {
+			ops = append(ops, memOp{addr: Addr(rng.Int63n(span))})
+			continue
+		}
+		data := make([]byte, rng.Intn(3*PageSize)+1)
+		rng.Read(data)
+		addr := Addr(rng.Int63n(span - int64(len(data))))
+		ops = append(ops, memOp{addr: addr, data: data})
+	}
+	return ops
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// fingerprint hashes the observable state of every page in the range:
+// permission plus backing bytes (FNV-1a), independent of COW structure.
+func fingerprint(s *Space, addr Addr, size uint64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for off := uint64(0); off < size; off += PageSize {
+		e := s.entry(addr + Addr(off))
+		mix(byte(e.perm))
+		for _, b := range dataOf(e.pg) {
+			mix(b)
+		}
+	}
+	return h
+}
+
+// mergeOutcome captures everything observable about one merge execution.
+type mergeOutcome struct {
+	st    MergeStats
+	print uint64
+	err   string
+	total int
+	addrs []Addr
+}
+
+func runMerge(t *testing.T, parent *Space, childOps, parentOps []memOp,
+	addr Addr, size uint64, cfg MergeConfig) mergeOutcome {
+	t.Helper()
+	child := NewSpace()
+	child.CopyAllFrom(parent)
+	snap, _ := child.Snapshot()
+	applyOps(t, child, childOps)
+
+	dst := NewSpace()
+	dst.CopyAllFrom(parent)
+	applyOps(t, dst, parentOps)
+
+	st, err := MergeEx(dst, child, snap, addr, size, cfg)
+	out := mergeOutcome{st: st, print: fingerprint(dst, addr, size)}
+	if err != nil {
+		out.err = err.Error()
+		mc, ok := err.(*MergeConflictError)
+		if !ok {
+			t.Fatalf("MergeEx(%+v): unexpected error type %T: %v", cfg, err, err)
+		}
+		out.total = mc.Total
+		out.addrs = append(out.addrs, mc.Addrs...)
+	}
+	child.Free()
+	snap.Free()
+	dst.Free()
+	return out
+}
+
+func outcomesEqual(a, b mergeOutcome, ignoreScanned bool) string {
+	sa, sb := a.st, b.st
+	if ignoreScanned {
+		sa.PtesScanned, sb.PtesScanned = 0, 0
+	}
+	switch {
+	case sa != sb:
+		return fmt.Sprintf("stats %+v vs %+v", a.st, b.st)
+	case a.print != b.print:
+		return fmt.Sprintf("destination bytes differ (%#x vs %#x)", a.print, b.print)
+	case a.err != b.err:
+		return fmt.Sprintf("errors %q vs %q", a.err, b.err)
+	case a.total != b.total:
+		return fmt.Sprintf("conflict totals %d vs %d", a.total, b.total)
+	case fmt.Sprint(a.addrs) != fmt.Sprint(b.addrs):
+		return fmt.Sprintf("conflict addrs %v vs %v", a.addrs, b.addrs)
+	}
+	return ""
+}
+
+func TestMergeEnginesEquivalentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parent := NewSpace()
+		if err := parent.SetPerm(0, propSpan, PermRW); err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, parent, randOps(rng, 10, propSpan))
+		// Child mutations roam the whole span, and always include a write
+		// in the second table; parent mutations stay inside the first
+		// table, so the second table is a whole-table adoption candidate.
+		childOps := randOps(rng, 12, propSpan)
+		childOps = append(childOps, memOp{
+			addr: Addr(tableEntries+rng.Intn(tableEntries)) * PageSize,
+			data: randBytes(rng, 64),
+		})
+		parentOps := randOps(rng, 4, tableEntries*PageSize)
+		if rng.Intn(2) == 0 {
+			// Contended page: both sides write overlapping random bytes —
+			// a guaranteed byte comparison, near-certain conflict.
+			pg := Addr(rng.Intn(tableEntries)) * PageSize
+			childOps = append(childOps, memOp{addr: pg, data: randBytes(rng, 64)})
+			parentOps = append(parentOps, memOp{addr: pg + 32, data: randBytes(rng, 64)})
+		}
+
+		// Whole span or a random page-aligned sub-range.
+		addr, size := Addr(0), uint64(propSpan)
+		if rng.Intn(2) == 0 {
+			addr = Addr(rng.Int63n(propSpan/PageSize)) * PageSize
+			size = uint64(rng.Int63n((propSpan-int64(addr))/PageSize)+1) * PageSize
+		}
+
+		for _, mode := range []MergeMode{MergeStrict, MergeLastWriter} {
+			serial := runMerge(t, parent, childOps, parentOps, addr, size,
+				MergeConfig{Mode: mode})
+			variants := []struct {
+				name          string
+				cfg           MergeConfig
+				ignoreScanned bool
+			}{
+				{"parallel4", MergeConfig{Mode: mode, Workers: 4}, false},
+				{"serial-full", MergeConfig{Mode: mode, NoDirtyHints: true}, true},
+				{"parallel4-full", MergeConfig{Mode: mode, Workers: 4, NoDirtyHints: true}, true},
+			}
+			for _, v := range variants {
+				got := runMerge(t, parent, childOps, parentOps, addr, size, v.cfg)
+				if diff := outcomesEqual(serial, got, v.ignoreScanned); diff != "" {
+					t.Errorf("seed %d mode %v: %s differs from serial guided: %s",
+						seed, mode, v.name, diff)
+					return false
+				}
+				if got.st.PtesScanned < serial.st.PtesScanned {
+					t.Errorf("seed %d mode %v: %s scanned %d ptes, fewer than guided serial's %d",
+						seed, mode, v.name, got.st.PtesScanned, serial.st.PtesScanned)
+					return false
+				}
+			}
+		}
+		parent.Free()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeEnginesEquivalentOnContention pins the hard cases the random
+// scenarios only sometimes draw: a guaranteed write/write conflict, a
+// byte-compared false-sharing page, and a whole-table adoption, all in one
+// merge — and requires every engine configuration to agree on them.
+func TestMergeEnginesEquivalentOnContention(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	parent := NewSpace()
+	if err := parent.SetPerm(0, propSpan, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, parent, randOps(rng, 10, propSpan))
+	childOps := []memOp{
+		{addr: 3 * PageSize, data: randBytes(rng, 64)},                    // contended page
+		{addr: (tableEntries + 7) * PageSize, data: randBytes(rng, 1000)}, // table-1 adoption
+	}
+	parentOps := []memOp{
+		{addr: 3*PageSize + 32, data: randBytes(rng, 64)}, // overlaps child's write
+	}
+	serial := runMerge(t, parent, childOps, parentOps, 0, propSpan, MergeConfig{})
+	if serial.total == 0 || serial.st.PagesCompared == 0 || serial.st.TablesAdopted == 0 {
+		t.Fatalf("constructed scenario missed a path: %+v (conflicts %d)", serial.st, serial.total)
+	}
+	for _, mode := range []MergeMode{MergeStrict, MergeLastWriter} {
+		base := runMerge(t, parent, childOps, parentOps, 0, propSpan, MergeConfig{Mode: mode})
+		for _, cfg := range []MergeConfig{
+			{Mode: mode, Workers: 2},
+			{Mode: mode, Workers: 16},
+			{Mode: mode, NoDirtyHints: true},
+			{Mode: mode, Workers: 16, NoDirtyHints: true},
+		} {
+			got := runMerge(t, parent, childOps, parentOps, 0, propSpan, cfg)
+			if diff := outcomesEqual(base, got, cfg.NoDirtyHints); diff != "" {
+				t.Errorf("mode %v cfg %+v: %s", mode, cfg, diff)
+			}
+		}
+	}
+}
+
+// TestMergeMutatedRefNeverGuides closes a trust hole: a reference
+// snapshot that was written to and then re-snapshotted must not steer a
+// guided merge — re-snapshotting clears the ref's dirty marks (the
+// evidence of its divergence), so its own snapshot identity has to be
+// dropped with them, forcing the full walk.
+func TestMergeMutatedRefNeverGuides(t *testing.T) {
+	cur := NewSpace()
+	if err := cur.SetPerm(0, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Write(0, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := cur.Snapshot()
+	// Mutate the reference behind the merge's back, then launder its
+	// dirty marks through a second Snapshot call.
+	if err := ref.Write(PageSize, []byte("ref-side change")); err != nil {
+		t.Fatal(err)
+	}
+	ref.Snapshot()
+	if dirtyGuided(cur, ref) {
+		t.Fatal("mutated, re-snapshotted ref still trusted for guided merge")
+	}
+	// The full walk must now see the ref-side divergence: cur's page 1
+	// (still "base"-era zeros) differs from ref's, so the merge folds
+	// cur's bytes over the ref-side change.
+	dst := NewSpace()
+	dst.CopyAllFrom(ref)
+	if _, err := Merge(dst, cur, ref, 0, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	var b [15]byte
+	if err := dst.Read(PageSize, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:]) == "ref-side change" {
+		t.Error("merge skipped a page the ref diverged on (guided walk used stale hints)")
+	}
+}
+
+// TestMergeDirtyGuidedScansLessThanFull pins the tentpole claim: with a
+// sparse dirty pattern the guided walk examines O(dirtied) ptes while the
+// seed-equivalent full walk examines every pte of each touched table.
+func TestMergeDirtyGuidedScansLessThanFull(t *testing.T) {
+	parent := NewSpace()
+	if err := parent.SetPerm(0, propSpan, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for p := 0; p < propSpan/PageSize; p++ {
+		if err := parent.Write(Addr(p*PageSize), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Child dirties 3 pages in each of the first two tables. Dirtying the
+	// parent too keeps both tables off the whole-table adoption path, so
+	// the comparison isolates the pte-scan cost.
+	childOps := []memOp{}
+	parentOps := []memOp{{addr: 5 * PageSize, data: []byte("parent")},
+		{addr: Addr(tableEntries+9) * PageSize, data: []byte("parent")}}
+	for _, l1 := range []int{0, 1} {
+		for i := 0; i < 3; i++ {
+			childOps = append(childOps, memOp{
+				addr: Addr(l1*tableEntries+100*i) * PageSize,
+				data: []byte("child"),
+			})
+		}
+	}
+	guided := runMerge(t, parent, childOps, parentOps, 0, propSpan, MergeConfig{})
+	full := runMerge(t, parent, childOps, parentOps, 0, propSpan, MergeConfig{NoDirtyHints: true})
+	if diff := outcomesEqual(guided, full, true); diff != "" {
+		t.Fatalf("guided and full walks disagree: %s", diff)
+	}
+	if guided.st.PtesScanned > 16 {
+		t.Errorf("guided walk scanned %d ptes for 6 dirty pages, want O(dirtied)", guided.st.PtesScanned)
+	}
+	if full.st.PtesScanned < 2*tableEntries {
+		t.Errorf("full walk scanned %d ptes, expected the whole %d-pte touched span",
+			full.st.PtesScanned, 2*tableEntries)
+	}
+}

@@ -9,12 +9,31 @@
 // its reference snapshot are folded into the parent, and bytes changed on
 // both sides raise a conflict, independent of any execution schedule.
 //
+// Every mutation additionally sets a bit in a per-space dirty bitmap
+// (dirty.go). Snapshot clears the bitmap and stamps the (space, snapshot)
+// pair with an identity token, so a merge that is handed the space's most
+// recent snapshot can walk only the ptes the space actually dirtied —
+// O(dirtied) instead of O(mapped) — and provably reach the same pages the
+// full scan would.
+//
+// # Concurrency invariants
+//
 // A Space is not safe for concurrent use by multiple goroutines. The kernel
 // guarantees that a space is only ever touched by its owning goroutine, or
 // by its parent while the child is stopped at a rendezvous point; pages
 // shared COW between spaces are never written in place (writers always
 // break sharing first), so cross-space page sharing needs no locking beyond
 // the atomic reference count.
+//
+// MergeParallel exploits a refinement of that ownership rule: all mutable
+// per-table state — the root slot, the level-2 table it points to, and the
+// table's dirty bitmap — is reached only through the table's level-1 index,
+// and page reference counts are atomic. Partitioning a merge by level-1
+// index therefore gives each worker exclusive ownership of every location
+// it writes (destination tables and their pages) while the child and
+// reference spaces are read shared-nothing, so the workers need no locks
+// and the merged bytes, statistics and conflict set are identical to the
+// serial walk's regardless of how the workers are scheduled.
 package vm
 
 import (
@@ -138,6 +157,18 @@ func shareTable(t *table) *table {
 // Space is a private virtual address space.
 type Space struct {
 	root [tableEntries]*table
+
+	// Dirty-page tracking (dirty.go): one lazily allocated bitmap per
+	// level-2 table marking the ptes mutated since the last Snapshot,
+	// plus a coarse escape hatch for whole-space replacements.
+	dirty    [tableEntries]*dirtyBits
+	dirtyAll bool
+	// snapID identifies the most recent Snapshot taken of this space;
+	// snapOf, set only on snapshot spaces, names the Snapshot call that
+	// produced them. Merge trusts the dirty bitmap only when the tokens
+	// match (see dirtyGuided).
+	snapID uint64
+	snapOf uint64
 }
 
 // ownTable returns a privately owned (mutable) level-2 table for index
@@ -235,6 +266,7 @@ func (s *Space) SetPerm(addr Addr, size uint64, perm Perm) error {
 		e := s.entry(a)
 		e.perm = perm
 		s.setEntry(a, e)
+		s.markDirty(a)
 	}
 	return nil
 }
@@ -254,6 +286,7 @@ func (s *Space) Zero(addr Addr, size uint64, perm Perm) error {
 			old.refs.Add(-1)
 		}
 		t.ptes[l2] = pte{perm: perm}
+		s.markDirty(a)
 	}
 	return nil
 }
@@ -266,6 +299,12 @@ func (s *Space) Free() {
 		releaseTable(t)
 		s.root[i] = nil
 	}
+	// Emptying the space invalidates both sides of any dirty-tracking
+	// relationship it was part of: it no longer matches its last snapshot,
+	// and if it was itself a snapshot it no longer matches its origin.
+	s.clearDirty()
+	s.snapID = 0
+	s.snapOf = 0
 }
 
 // CopyStats reports the work done by a bulk page operation, used by the
@@ -304,6 +343,7 @@ func (s *Space) CopyFrom(src *Space, srcAddr, dstAddr Addr, size uint64) (CopySt
 			}
 			releaseTable(dstT)
 			s.root[l1] = shareTable(srcT)
+			s.markTableDirty(l1)
 			if srcT != nil {
 				st.TablesShared++
 			}
@@ -312,7 +352,8 @@ func (s *Space) CopyFrom(src *Space, srcAddr, dstAddr Addr, size uint64) (CopySt
 	}
 	for off := uint64(0); off < size; off += PageSize {
 		se := src.entry(srcAddr + Addr(off))
-		l1, l2 := split(dstAddr + Addr(off))
+		da := dstAddr + Addr(off)
+		l1, l2 := split(da)
 		t := s.ownTable(l1)
 		if old := t.ptes[l2].pg; old != nil {
 			old.refs.Add(-1)
@@ -324,6 +365,7 @@ func (s *Space) CopyFrom(src *Space, srcAddr, dstAddr Addr, size uint64) (CopySt
 			st.PagesZeroed++
 		}
 		t.ptes[l2] = pte{pg: se.pg, perm: se.perm}
+		s.markDirty(da)
 	}
 	return st, nil
 }
@@ -331,6 +373,11 @@ func (s *Space) CopyFrom(src *Space, srcAddr, dstAddr Addr, size uint64) (CopySt
 // Snapshot returns a COW clone of the entire space, used as the reference
 // copy for a later Merge (the Snap option of Put). It shares whole level-2
 // tables, so snapshotting costs O(mapped address space / 4 MiB).
+//
+// Snapshot also resets the space's dirty-page tracking: space and clone
+// are identical at this instant, so the marks that accumulate afterwards
+// describe exactly the divergence from this snapshot. The pair is stamped
+// with an identity token that lets Merge recognize the relationship.
 func (s *Space) Snapshot() (*Space, CopyStats) {
 	snap := NewSpace()
 	var st CopyStats
@@ -341,13 +388,27 @@ func (s *Space) Snapshot() (*Space, CopyStats) {
 		snap.root[i] = shareTable(t)
 		st.TablesShared++
 	}
+	id := snapshotIDs.Add(1)
+	s.snapID = id
+	snap.snapOf = id
+	if s.snapOf != 0 && s.anyDirty() {
+		// s was itself a snapshot and has been written since it was
+		// taken. clearDirty below erases that evidence, so drop s's own
+		// snapshot identity too: it is no longer a faithful reference
+		// for its origin, and merges against it must take the full walk.
+		s.snapOf = 0
+	}
+	s.clearDirty()
 	return snap, st
 }
 
 // writablePage returns the backing page for a, breaking table- and
 // page-level COW sharing and allocating lazy-zero pages as needed. The
-// caller must already have checked write permission.
+// caller must already have checked write permission. This is the funnel
+// for every in-place data write, so it is also where pages are marked
+// dirty for merge tracking.
 func (s *Space) writablePage(a Addr) *page {
+	s.markDirty(a)
 	l1, l2 := split(a)
 	t := s.ownTable(l1)
 	e := t.ptes[l2]
