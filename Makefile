@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet fmt-check ci
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -18,15 +18,24 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# GOMAXPROCS is pinned above 1 so the race detector actually sees the
+# concurrent collection, parallel merge and WaitChildren pools race
+# against each other instead of running effectively serialized.
 race:
-	$(GO) test -race ./internal/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/...
 
 # Full-size experiment tables (slow); see also `go run ./cmd/detbench`.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# One quick experiment end to end: proves the bench harness still runs.
+# Quick experiments end to end: proves the bench harness still runs and
+# the dsched round engine still beats the legacy loop path.
 bench-smoke:
-	$(GO) test -bench=Fig4 -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Fig4|DschedRound' -benchtime=1x -run='^$$' .
 
-ci: build vet fmt-check test race bench-smoke
+# Machine-readable perf snapshot for the repo's trajectory artifacts
+# (BENCH_pr2.json and successors).
+bench-json:
+	$(GO) run ./cmd/detbench -run dsched,merge -quick -json > BENCH_pr2.json
+
+ci: build vet fmt-check test race bench-smoke bench-json

@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	detbench [-run id[,id...]] [-quick] [-cpus n] [-root dir]
+//	detbench [-run id[,id...]] [-quick] [-cpus n] [-root dir] [-json]
 //
-// With no -run flag every experiment runs in paper order.
+// With no -run flag every experiment runs in paper order. With -json the
+// selected tables are emitted as one JSON array instead of aligned text,
+// which is how `make bench-json` produces the committed BENCH artifacts
+// tracking the perf trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ func main() {
 	cpus := flag.Int("cpus", 12, "modelled CPU count for fig7/fig8")
 	root := flag.String("root", ".", "repository root (for tab3)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "emit the result tables as a JSON array")
 	flag.Parse()
 
 	if *list {
@@ -38,15 +43,28 @@ func main() {
 		ids = strings.Split(*runIDs, ",")
 	}
 	opts := bench.Options{Quick: *quick, CPUs: *cpus}
+	var tables []bench.Table
 	for i, id := range ids {
 		t, err := bench.Run(strings.TrimSpace(id), *root, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			tables = append(tables, t)
+			continue
+		}
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Print(t.Format())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -251,7 +251,7 @@ func (rt *RT) waitThreads(threadIDs []int) {
 	for i, id := range threadIDs {
 		refs[i] = rt.ref(-1, id)
 	}
-	rt.env.WaitChildren(refs)
+	rt.env.WaitChildren(refs, 0)
 }
 
 // Barrier, called from a thread, stops the thread until the parent

@@ -11,6 +11,21 @@
 // Writes therefore propagate only at quantum boundaries — the weak
 // consistency model of DMP-B, totally ordering only synchronization.
 //
+// The round engine keeps that model while avoiding its naive cost.
+// Collection first overlaps the physical waits for every started thread
+// on a bounded pool (Config.CollectWorkers) and only then applies the
+// merges, strictly in thread order, so stragglers stop serializing the
+// wait without perturbing the commit order. Resynchronization is
+// epoch-skipped: the master tracks a commit epoch for its shared region
+// and each thread the epoch it last synchronized to, and a thread
+// resuming into an unchanged region — no commits, no hand-off writes,
+// and its own replica provably clean — is restarted with a bare
+// Put{Start,Limit}: no Copy, no fresh snapshot, no dirty-bitmap churn.
+// Both optimizations are result-invariant, including virtual times: the
+// skip fires only when the kernel's (incremental) Copy and Snap would
+// charge nothing and change nothing. Per-round telemetry (RoundStats,
+// Stats) makes the savings observable.
+//
 // Synchronization primitives trap to the master instead of spinning.
 // Each mutex is owned by some thread; the owner locks and unlocks it
 // without scheduler interaction (writing a flag in its private replica,
@@ -73,10 +88,65 @@ type Config struct {
 	// Quantum is the instruction limit per scheduling round. The paper's
 	// evaluation uses 10 million instructions.
 	Quantum int64
+	// CollectWorkers bounds the host parallelism used to overlap the
+	// waits for the threads of one round before their merges are applied
+	// (in thread order, as always). Like kernel.Config.MergeWorkers it is
+	// a wall-clock knob only: checksums, conflict reports, round counts
+	// and virtual times are identical at every setting. <= 0 selects
+	// GOMAXPROCS.
+	CollectWorkers int
+	// AdaptiveQuantum scales the quantum up (by adaptiveBoost) for rounds
+	// in which a single thread is runnable: with no peer to interleave
+	// with, longer quanta only reduce scheduling overhead. The policy
+	// depends solely on deterministic scheduler state, so execution
+	// remains repeatable — but round counts, virtual times and lock
+	// hand-off order may differ from the fixed-quantum schedule.
+	AdaptiveQuantum bool
+	// DisableEpochSkip turns off epoch-skipped resynchronization: every
+	// runnable thread is re-copied and re-snapshotted each round even
+	// when the engine can prove both are no-ops. Results — including
+	// virtual times — are identical; the flag exists for the invariance
+	// tests and as an ablation.
+	DisableEpochSkip bool
+	// FullResync reproduces the pre-engine round loop: every resync
+	// rebuilds the thread's snapshot from scratch (PutOpts.SnapFresh) and
+	// epoch skipping is disabled. Checksums and schedules are identical;
+	// virtual time and host work are not (that overhead is the point).
+	// Kept as the benchmark baseline for the round engine.
+	FullResync bool
+	// OnRound, if non-nil, receives every completed round's statistics.
+	OnRound func(RoundStats)
 }
 
 // DefaultQuantum matches the paper's choice.
 const DefaultQuantum = 10_000_000
+
+// adaptiveBoost is the quantum multiplier applied by AdaptiveQuantum
+// when only one thread is runnable.
+const adaptiveBoost = 8
+
+// RoundStats describes one scheduling round.
+type RoundStats struct {
+	Round   int64 // 1-based round number
+	Ran     int   // threads that ran a quantum this round
+	Blocked int   // threads that sat blocked on a sync object
+	// SyncSkipped counts threads resumed with a bare Put{Start,Limit}:
+	// the epoch proof showed both the shared-region copy and the
+	// re-snapshot would be no-ops, so neither was issued.
+	SyncSkipped int
+	// Merge totals the reconciliation work of this round's collections.
+	Merge vm.MergeStats
+	// VT is the master's virtual clock after the round.
+	VT int64
+}
+
+// Stats accumulates RoundStats over a scheduler's lifetime.
+type Stats struct {
+	Rounds       int64
+	ThreadQuanta int64 // total quanta executed across all threads
+	SyncSkipped  int64 // quanta started without any resynchronization
+	Merge        vm.MergeStats
+}
 
 type mutexState struct {
 	addr    vm.Addr
@@ -98,19 +168,37 @@ type threadState struct {
 	blocked bool
 	done    bool
 	crash   error
+	// syncEpoch is the master commit epoch the thread's replica was last
+	// synchronized to; dirty records that the thread has provably-unknown
+	// (or known) divergence from its own snapshot since then. Together
+	// they decide epoch-skipped resync: a thread with syncEpoch equal to
+	// the master's commit epoch and a clean replica would receive a
+	// no-op Copy (every table still pointer-shared) and a no-op Snap
+	// (snapshot still exact), so the engine skips both.
+	syncEpoch uint64
+	dirty     bool
 }
 
 // Sched is the master-space scheduler.
 type Sched struct {
 	rt      *core.RT
 	env     *kernel.Env
+	cfg     Config
 	quantum int64
 
 	threads  []*threadState
 	mutexes  []*mutexState
 	conds    []*condState
 	barriers []*barrierState
-	rounds   int64
+	stats    Stats
+
+	// commitEpoch advances whenever the master's copy of the shared
+	// region changes: a collection merged bytes or adopted pages, or the
+	// master wrote shared memory during a mutex hand-off. Threads record
+	// the epoch they last synchronized at; matching epochs prove the
+	// master region is byte- and pointer-identical to what the thread
+	// already holds.
+	commitEpoch uint64
 }
 
 // Thread is the handle application thread code receives. Synchronization
@@ -131,7 +219,10 @@ func New(rt *core.RT, cfg Config) *Sched {
 	if q <= 0 {
 		q = DefaultQuantum
 	}
-	return &Sched{rt: rt, env: rt.Env(), quantum: q}
+	if cfg.FullResync {
+		cfg.DisableEpochSkip = true
+	}
+	return &Sched{rt: rt, env: rt.Env(), cfg: cfg, quantum: q, commitEpoch: 1}
 }
 
 // NewMutex creates a mutex, initially unlocked and owned by thread 0.
@@ -157,7 +248,10 @@ func (s *Sched) NewBarrier(n int) Barrier {
 
 // Rounds reports how many scheduling rounds ran, for the quantum
 // overhead experiment.
-func (s *Sched) Rounds() int64 { return s.rounds }
+func (s *Sched) Rounds() int64 { return s.stats.Rounds }
+
+// Stats reports the scheduler's accumulated round statistics.
+func (s *Sched) Stats() Stats { return s.stats }
 
 // ErrDeadlock is returned when every live thread is blocked on a
 // synchronization object no runnable thread can release.
@@ -173,36 +267,32 @@ func (s *Sched) Run(n int, body func(t *Thread)) error {
 	base, size := s.rt.SharedRange()
 	s.threads = make([]*threadState, n)
 	// Round zero: fork every thread with the quantum limit armed, then
-	// collect in thread order, like any later round.
-	s.rounds++
+	// collect, like any later round. The first resync is always full.
+	rs := RoundStats{Round: s.stats.Rounds + 1, Ran: n}
+	started := make([]bool, n)
 	for i := 0; i < n; i++ {
 		i := i
-		s.threads[i] = &threadState{id: i}
+		s.threads[i] = &threadState{id: i, syncEpoch: s.commitEpoch}
 		entry := func(env *kernel.Env) {
 			body(&Thread{ID: i, env: env, mus: mus})
 		}
 		if err := s.env.Put(s.ref(i), kernel.PutOpts{
-			Regs:  &kernel.Regs{Entry: entry, Arg: uint64(i)},
-			Copy:  &kernel.CopyRange{Src: base, Dst: base, Size: size},
-			Snap:  true,
-			Start: true,
-			Limit: s.quantum,
+			Regs:      &kernel.Regs{Entry: entry, Arg: uint64(i)},
+			Copy:      &kernel.CopyRange{Src: base, Dst: base, Size: size},
+			Snap:      true,
+			SnapFresh: s.cfg.FullResync,
+			Start:     true,
+			Limit:     s.quantum,
 		}); err != nil {
 			return err
 		}
+		started[i] = true
 	}
-	for i := 0; i < n; i++ {
-		info, err := s.get(i)
-		if err != nil {
-			return err
-		}
-		if err := s.handleStop(i, info); err != nil {
-			return err
-		}
+	if err := s.collect(started, &rs); err != nil {
+		return err
 	}
-	for _, m := range s.mutexes {
-		s.handoff(m)
-	}
+	s.handoffs()
+	s.finishRound(rs)
 	for {
 		alive := false
 		for _, t := range s.threads {
@@ -240,30 +330,78 @@ func (s *Sched) get(id int) (kernel.ChildInfo, error) {
 	})
 }
 
-// round runs one scheduling quantum.
+// round runs one scheduling quantum: resynchronize and start every
+// runnable thread (skipping the resync when the epoch proof makes it a
+// no-op), wait for all of them concurrently, then apply their merge
+// commits strictly in thread order.
 func (s *Sched) round() error {
-	s.rounds++
+	rs := RoundStats{Round: s.stats.Rounds + 1}
 	base, size := s.rt.SharedRange()
+	runnable := 0
+	for _, t := range s.threads {
+		switch {
+		case t.done:
+		case t.blocked:
+			rs.Blocked++
+		default:
+			runnable++
+		}
+	}
+	if runnable == 0 {
+		return ErrDeadlock
+	}
+	limit := s.quantum
+	if s.cfg.AdaptiveQuantum && runnable == 1 {
+		limit *= adaptiveBoost
+	}
 	started := make([]bool, len(s.threads))
-	anyStarted := false
 	for _, t := range s.threads {
 		if t.done || t.blocked {
 			continue
 		}
-		if err := s.env.Put(s.ref(t.id), kernel.PutOpts{
-			Copy:  &kernel.CopyRange{Src: base, Dst: base, Size: size},
-			Snap:  true,
-			Start: true,
-			Limit: s.quantum,
-		}); err != nil {
+		opts := kernel.PutOpts{Start: true, Limit: limit}
+		if s.cfg.DisableEpochSkip || t.dirty || t.syncEpoch != s.commitEpoch {
+			// Out of sync (or skipping disabled): re-copy the master's
+			// shared region and refresh the snapshot. Both operations do
+			// — and charge — work only proportional to the tables that
+			// actually diverged.
+			opts.Copy = &kernel.CopyRange{Src: base, Dst: base, Size: size}
+			opts.Snap = true
+			opts.SnapFresh = s.cfg.FullResync
+			t.syncEpoch = s.commitEpoch
+			t.dirty = false
+		} else {
+			// In sync: the thread's replica, and its snapshot, are still
+			// byte- and pointer-identical to the master region, so Copy
+			// and Snap would be no-ops. Resume bare.
+			rs.SyncSkipped++
+		}
+		if err := s.env.Put(s.ref(t.id), opts); err != nil {
 			return err
 		}
 		started[t.id] = true
-		anyStarted = true
+		rs.Ran++
 	}
-	if !anyStarted {
-		return ErrDeadlock
+	if err := s.collect(started, &rs); err != nil {
+		return err
 	}
+	s.handoffs()
+	s.finishRound(rs)
+	return nil
+}
+
+// collect gathers every started thread: the physical waits overlap on a
+// CollectWorkers-bounded pool, after which the merge commits are applied
+// strictly in thread-id order — the order, not the waiting, is what the
+// deterministic result depends on.
+func (s *Sched) collect(started []bool, rs *RoundStats) error {
+	refs := make([]uint64, 0, len(s.threads))
+	for _, t := range s.threads {
+		if started[t.id] {
+			refs = append(refs, s.ref(t.id))
+		}
+	}
+	s.env.WaitChildren(refs, s.cfg.CollectWorkers)
 	for _, t := range s.threads {
 		if !started[t.id] {
 			continue
@@ -272,16 +410,38 @@ func (s *Sched) round() error {
 		if err != nil {
 			return err
 		}
+		if info.Merge.TablesAdopted+info.Merge.PagesAdopted+info.Merge.BytesMerged > 0 {
+			// The master's region changed: every thread synchronized to
+			// an earlier epoch must resync before it next runs.
+			s.commitEpoch++
+		}
+		t.dirty = !info.MemClean
+		rs.Merge.Add(info.Merge)
 		if err := s.handleStop(t.id, info); err != nil {
 			return err
 		}
 	}
-	// Deferred handoffs: steal unlocked mutexes from their owners for
-	// queued requesters, in mutex order.
+	return nil
+}
+
+// handoffs runs the deferred mutex hand-offs: steal unlocked mutexes
+// from their owners for queued requesters, in mutex order.
+func (s *Sched) handoffs() {
 	for _, m := range s.mutexes {
 		s.handoff(m)
 	}
-	return nil
+}
+
+// finishRound closes out one round's accounting.
+func (s *Sched) finishRound(rs RoundStats) {
+	rs.VT = s.env.VT()
+	s.stats.Rounds++
+	s.stats.ThreadQuanta += int64(rs.Ran)
+	s.stats.SyncSkipped += int64(rs.SyncSkipped)
+	s.stats.Merge.Add(rs.Merge)
+	if s.cfg.OnRound != nil {
+		s.cfg.OnRound(rs)
+	}
 }
 
 // handleStop processes one thread's stop reason after its merge.
@@ -369,9 +529,13 @@ func (s *Sched) handoff(m *mutexState) {
 		}
 		next := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		// Hand over locked: the requester was acquiring it.
+		// Hand over locked: the requester was acquiring it. The master
+		// just changed the shared region, so every thread's sync epoch
+		// is stale — in particular the woken requester resyncs before it
+		// runs and cannot miss its own ownership.
 		s.env.WriteU64(m.addr+offFlag, 1)
 		s.env.WriteU64(m.addr+offOwner, uint64(next))
+		s.commitEpoch++
 		s.threads[next].blocked = false
 	}
 }

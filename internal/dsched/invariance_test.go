@@ -1,0 +1,238 @@
+package dsched
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// engineResult captures everything the round engine promises to keep
+// invariant across its host-parallelism and skip knobs.
+type engineResult struct {
+	checksum uint64
+	vt       int64
+	rounds   int64
+	quanta   int64
+	merge    vm.MergeStats
+	perRound []RoundStats
+}
+
+// runEngineWorkload executes a composite synchronization workload — a
+// mutex-protected counter, deliberately racy (LWW) writes, a condvar
+// handshake and a barrier — under the given scheduler and kernel merge
+// configuration, and returns the invariants.
+func runEngineWorkload(t *testing.T, cfg Config, mergeWorkers int) engineResult {
+	t.Helper()
+	const n, iters = 4, 6
+	var out engineResult
+	cfg.Quantum = 900
+	cfg.OnRound = func(rs RoundStats) { out.perRound = append(out.perRound, rs) }
+	res := core.Run(core.Options{
+		Kernel: kernel.Config{CPUsPerNode: n, MergeWorkers: mergeWorkers},
+	}, func(rt *core.RT) uint64 {
+		s := New(rt, cfg)
+		mu := s.NewMutex()
+		counter := rt.Alloc(8, 8)
+		racy := rt.Alloc(8, 8)
+		seq := rt.Alloc(8, 8)
+		slots := rt.AllocPages(1)
+		b := s.NewBarrier(n)
+		if err := s.Run(n, func(th *Thread) {
+			env := th.Env()
+			for i := 0; i < iters; i++ {
+				th.Lock(mu)
+				v := env.ReadU64(counter)
+				env.Tick(25)
+				env.WriteU64(counter, v+1)
+				pos := env.ReadU64(seq)
+				env.WriteU64(seq, pos+1)
+				if pos < 512 {
+					env.WriteU64(slots+vm.Addr(8*pos), uint64(th.ID+1))
+				}
+				th.Unlock(mu)
+				env.WriteU64(racy, uint64(th.ID)*1_000_003+uint64(i)) // racy on purpose
+				env.Tick(int64(60 * (th.ID + 1)))
+			}
+			th.BarrierWait(b)
+			// Post-barrier read-mostly phase: scan the slot table for
+			// several quanta without writing, then record one result.
+			var sum uint64
+			for rep := 0; rep < 4; rep++ {
+				for j := 0; j < 512; j++ {
+					sum += env.ReadU64(slots + vm.Addr(8*j))
+				}
+				env.Tick(300)
+			}
+			th.Lock(mu)
+			env.WriteU64(counter, env.ReadU64(counter)+sum%97)
+			th.Unlock(mu)
+		}); err != nil {
+			panic(err)
+		}
+		env := rt.Env()
+		sig := env.ReadU64(counter)*31 + env.ReadU64(racy)
+		for j := 0; j < 512; j++ {
+			sig = sig*1099511628211 + env.ReadU64(slots+vm.Addr(8*j))
+		}
+		out.rounds = s.Rounds()
+		st := s.Stats()
+		out.quanta = st.ThreadQuanta
+		out.merge = st.Merge
+		return sig
+	})
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("%v: %v", res.Status, res.Err)
+	}
+	out.checksum = res.Ret
+	out.vt = res.VT
+	return out
+}
+
+// TestRoundEngineInvariance is the PR's acceptance gate: checksums,
+// conflict behavior (the LWW merges must never raise one), round counts,
+// merge statistics and virtual times are identical for CollectWorkers in
+// {1, 2, GOMAXPROCS}, for MergeWorkers 1 vs parallel, and with
+// epoch-skipped resynchronization on and off.
+func TestRoundEngineInvariance(t *testing.T) {
+	base := runEngineWorkload(t, Config{}, 1)
+	if base.rounds < 8 {
+		t.Fatalf("workload too small to exercise the engine: %d rounds", base.rounds)
+	}
+	type variant struct {
+		name         string
+		cfg          Config
+		mergeWorkers int
+	}
+	variants := []variant{
+		{"collect2", Config{CollectWorkers: 2}, 1},
+		{"collectMax", Config{CollectWorkers: runtime.GOMAXPROCS(0)}, 1},
+		{"mergeParallel", Config{}, runtime.GOMAXPROCS(0)},
+		{"noSkip", Config{DisableEpochSkip: true}, 1},
+		{"noSkipCollect2", Config{DisableEpochSkip: true, CollectWorkers: 2}, 2},
+	}
+	for _, v := range variants {
+		got := runEngineWorkload(t, v.cfg, v.mergeWorkers)
+		if got.checksum != base.checksum {
+			t.Errorf("%s: checksum %#x != base %#x", v.name, got.checksum, base.checksum)
+		}
+		if got.vt != base.vt {
+			t.Errorf("%s: virtual time %d != base %d", v.name, got.vt, base.vt)
+		}
+		if got.rounds != base.rounds || got.quanta != base.quanta {
+			t.Errorf("%s: rounds/quanta %d/%d != base %d/%d",
+				v.name, got.rounds, got.quanta, base.rounds, base.quanta)
+		}
+		if got.merge != base.merge {
+			t.Errorf("%s: merge stats %+v != base %+v", v.name, got.merge, base.merge)
+		}
+		if len(got.perRound) != len(base.perRound) {
+			t.Errorf("%s: %d per-round records != base %d",
+				v.name, len(got.perRound), len(base.perRound))
+			continue
+		}
+		for i := range got.perRound {
+			g, b := got.perRound[i], base.perRound[i]
+			// SyncSkipped legitimately differs when skipping is disabled;
+			// everything else must match round for round.
+			g.SyncSkipped, b.SyncSkipped = 0, 0
+			if g != b {
+				t.Errorf("%s: round %d stats %+v != base %+v", v.name, i+1,
+					got.perRound[i], base.perRound[i])
+				break
+			}
+		}
+	}
+}
+
+// TestEpochSkipFiresOnReadMostlyPhases proves the skip is real: the
+// workload's post-barrier scan phase runs quanta that write nothing, and
+// the engine must resume those threads without resynchronization.
+func TestEpochSkipFiresOnReadMostlyPhases(t *testing.T) {
+	got := runEngineWorkload(t, Config{}, 1)
+	if got.perRound[len(got.perRound)-1].VT == 0 {
+		t.Fatal("round telemetry missing VT")
+	}
+	var skipped int64
+	for _, rs := range got.perRound {
+		skipped += int64(rs.SyncSkipped)
+	}
+	if skipped == 0 {
+		t.Fatal("no quantum was resumed via epoch skip on a read-mostly workload")
+	}
+	off := runEngineWorkload(t, Config{DisableEpochSkip: true}, 1)
+	var offSkipped int64
+	for _, rs := range off.perRound {
+		offSkipped += int64(rs.SyncSkipped)
+	}
+	if offSkipped != 0 {
+		t.Fatalf("DisableEpochSkip still skipped %d resyncs", offSkipped)
+	}
+}
+
+// TestFullResyncBaselineMatchesResults: the pre-engine loop (from-scratch
+// snapshots, no skipping) must produce the same checksum and the same
+// schedule (round count); only its cost differs.
+func TestFullResyncBaselineMatchesResults(t *testing.T) {
+	base := runEngineWorkload(t, Config{}, 1)
+	legacy := runEngineWorkload(t, Config{FullResync: true}, 1)
+	if legacy.checksum != base.checksum {
+		t.Errorf("legacy checksum %#x != engine %#x", legacy.checksum, base.checksum)
+	}
+	if legacy.rounds != base.rounds || legacy.quanta != base.quanta {
+		t.Errorf("legacy rounds/quanta %d/%d != engine %d/%d",
+			legacy.rounds, legacy.quanta, base.rounds, base.quanta)
+	}
+	if legacy.vt < base.vt {
+		t.Errorf("legacy VT %d below engine VT %d: incremental resync must not cost more",
+			legacy.vt, base.vt)
+	}
+}
+
+// TestAdaptiveQuantumReducesRounds: with one runnable thread and the rest
+// blocked behind a mutex, boosting the quantum must cut round count while
+// the mutex-protected result stays exact.
+func TestAdaptiveQuantumReducesRounds(t *testing.T) {
+	run := func(adaptive bool) (uint64, int64) {
+		const n, k = 4, 8
+		var rounds int64
+		res := core.Run(core.Options{Kernel: kernel.Config{CPUsPerNode: n}}, func(rt *core.RT) uint64 {
+			s := New(rt, Config{Quantum: 400, AdaptiveQuantum: adaptive})
+			mu := s.NewMutex()
+			counter := rt.Alloc(8, 8)
+			if err := s.Run(n, func(th *Thread) {
+				for i := 0; i < k; i++ {
+					th.Lock(mu)
+					v := th.Env().ReadU64(counter)
+					th.Env().Tick(900) // long critical section spanning quanta
+					th.Env().WriteU64(counter, v+1)
+					th.Unlock(mu)
+				}
+			}); err != nil {
+				panic(err)
+			}
+			rounds = s.Rounds()
+			return rt.Env().ReadU64(counter)
+		})
+		if res.Status != kernel.StatusHalted {
+			t.Fatalf("adaptive=%v: %v %v", adaptive, res.Status, res.Err)
+		}
+		return res.Ret, rounds
+	}
+	fixedVal, fixedRounds := run(false)
+	adaptVal, adaptRounds := run(true)
+	if fixedVal != 4*8 || adaptVal != 4*8 {
+		t.Fatalf("counter lost updates: fixed %d, adaptive %d", fixedVal, adaptVal)
+	}
+	if adaptRounds >= fixedRounds {
+		t.Errorf("adaptive quantum did not reduce rounds: %d vs %d", adaptRounds, fixedRounds)
+	}
+	// Determinism of the adaptive policy itself.
+	againVal, againRounds := run(true)
+	if againVal != adaptVal || againRounds != adaptRounds {
+		t.Errorf("adaptive schedule not repeatable: %d/%d vs %d/%d",
+			againVal, againRounds, adaptVal, adaptRounds)
+	}
+}

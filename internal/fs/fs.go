@@ -27,6 +27,7 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -90,6 +91,7 @@ var (
 	ErrNoSpace   = errors.New("fs: image full")
 	ErrNameTaken = errors.New("fs: no free inode")
 	ErrBadName   = errors.New("fs: invalid file name")
+	ErrBadOffset = errors.New("fs: offset out of range")
 )
 
 // FS is a handle on a file system image within the calling space's own
@@ -334,18 +336,51 @@ func (f *FS) List() []Info {
 	return out
 }
 
+// checkRange validates a byte-range request before any of the 32-bit
+// on-image arithmetic can wrap: negative offsets and ranges whose end
+// exceeds the image geometry are rejected up front. It returns the
+// validated start and end as image-safe uint32s. Prior to this check,
+// uint32(off) silently wrapped a negative offset to a huge one, letting
+// a single bad WriteAt trample other files' extents — the exact failure
+// mode SetProtect exists to prevent from outside the API, happening
+// from inside it.
+func (f *FS) checkRange(off, n int) (uint32, uint32, error) {
+	if off < 0 || n < 0 || uint64(off) > f.size {
+		return 0, 0, ErrBadOffset
+	}
+	// off is now bounded by the image and n by a real slice length, so
+	// the 64-bit sum cannot overflow.
+	end := int64(off) + int64(n)
+	if end > int64(f.size) || end > math.MaxUint32 {
+		return 0, 0, ErrBadOffset
+	}
+	return uint32(off), uint32(end), nil
+}
+
 // ensureCap grows a file's extent to hold at least n bytes, copying the
-// current contents into the new extent.
+// current contents into the new extent. Growth is computed in 64-bit
+// space and capped at the image size: the former uint32 doubling loop
+// wrapped to zero — and spun forever — once a requested size crossed
+// 2³¹.
 func (f *FS) ensureCap(ino int, n uint32) error {
 	cap0 := f.iGet(ino, iExtCap)
 	if n <= cap0 {
 		return nil
 	}
-	newCap := uint32(vm.PageSize)
-	for newCap < n {
+	if uint64(n) > f.size {
+		return ErrNoSpace // could never fit even in an empty image
+	}
+	newCap := uint64(vm.PageSize)
+	for newCap < uint64(n) {
 		newCap *= 2
 	}
-	off, err := f.allocExtent(newCap)
+	if newCap > f.size {
+		newCap = f.size
+	}
+	if newCap > math.MaxUint32 {
+		newCap = math.MaxUint32
+	}
+	off, err := f.allocExtent(uint32(newCap))
 	if err != nil {
 		return err
 	}
@@ -356,32 +391,42 @@ func (f *FS) ensureCap(ino int, n uint32) error {
 		f.pbytes(off, buf)
 	}
 	f.iPut(ino, iExtOff, off)
-	f.iPut(ino, iExtCap, newCap)
+	f.iPut(ino, iExtCap, uint32(newCap))
 	return nil
 }
 
 // WriteAt writes p at byte offset off, growing the file as needed, and
-// bumps the file's version.
+// bumps the file's version. Offsets that are negative or whose end would
+// exceed the image return ErrBadOffset before touching any byte.
 func (f *FS) WriteAt(name string, off int, p []byte) error {
 	defer f.unlock()()
 	ino := f.lookup(name)
 	if ino < 0 {
 		return ErrNotFound
 	}
+	return f.writeAt(ino, off, p)
+}
+
+// writeAt is the locked core of WriteAt and Append: the caller holds the
+// write-protection window and has resolved the inode.
+func (f *FS) writeAt(ino int, off int, p []byte) error {
 	if f.iGet(ino, iFlags)&flagConflict != 0 {
 		return ErrConflict
 	}
-	end := uint32(off + len(p))
+	start, end, err := f.checkRange(off, len(p))
+	if err != nil {
+		return err
+	}
 	if err := f.ensureCap(ino, end); err != nil {
 		return err
 	}
-	if size := f.iGet(ino, iSize); uint32(off) > size {
+	if size := f.iGet(ino, iSize); start > size {
 		// Writing past EOF leaves a hole, which must read as zeros even
 		// if the extent holds stale bytes from before a truncate.
-		zero := make([]byte, uint32(off)-size)
+		zero := make([]byte, start-size)
 		f.pbytes(f.iGet(ino, iExtOff)+size, zero)
 	}
-	f.pbytes(f.iGet(ino, iExtOff)+uint32(off), p)
+	f.pbytes(f.iGet(ino, iExtOff)+start, p)
 	if end > f.iGet(ino, iSize) {
 		f.iPut(ino, iSize, end)
 	}
@@ -389,16 +434,23 @@ func (f *FS) WriteAt(name string, off int, p []byte) error {
 	return nil
 }
 
-// Append writes p at end of file.
+// Append writes p at end of file. The size lookup and the write happen
+// as one operation under a single write-protection window — the previous
+// implementation read iSize outside the window and re-resolved the inode
+// through WriteAt, leaving a gap in which the image was writable with a
+// stale size.
 func (f *FS) Append(name string, p []byte) error {
+	defer f.unlock()()
 	ino := f.lookup(name)
 	if ino < 0 {
 		return ErrNotFound
 	}
-	return f.WriteAt(name, int(f.iGet(ino, iSize)), p)
+	return f.writeAt(ino, int(f.iGet(ino, iSize)), p)
 }
 
 // ReadAt reads up to len(p) bytes at offset off, returning the count.
+// Negative offsets return ErrBadOffset (the old code wrapped them to
+// huge ones and read other files' bytes).
 func (f *FS) ReadAt(name string, off int, p []byte) (int, error) {
 	ino := f.lookup(name)
 	if ino < 0 {
@@ -406,6 +458,9 @@ func (f *FS) ReadAt(name string, off int, p []byte) (int, error) {
 	}
 	if f.iGet(ino, iFlags)&flagConflict != 0 {
 		return 0, ErrConflict
+	}
+	if _, _, err := f.checkRange(off, 0); err != nil {
+		return 0, err
 	}
 	size := int(f.iGet(ino, iSize))
 	if off >= size {
@@ -447,6 +502,7 @@ func (f *FS) WriteFile(name string, p []byte) error {
 }
 
 // Truncate sets a file's size to n (growing zero-filled if needed).
+// Negative or image-exceeding sizes return ErrBadOffset.
 func (f *FS) Truncate(name string, n int) error {
 	defer f.unlock()()
 	ino := f.lookup(name)
@@ -456,15 +512,18 @@ func (f *FS) Truncate(name string, n int) error {
 	if f.iGet(ino, iFlags)&flagConflict != 0 {
 		return ErrConflict
 	}
-	if err := f.ensureCap(ino, uint32(n)); err != nil {
+	size, _, err := f.checkRange(n, 0)
+	if err != nil {
 		return err
 	}
-	old := int(f.iGet(ino, iSize))
-	if n > old {
-		zero := make([]byte, n-old)
-		f.pbytes(f.iGet(ino, iExtOff)+uint32(old), zero)
+	if err := f.ensureCap(ino, size); err != nil {
+		return err
 	}
-	f.iPut(ino, iSize, uint32(n))
+	if old := f.iGet(ino, iSize); size > old {
+		zero := make([]byte, size-old)
+		f.pbytes(f.iGet(ino, iExtOff)+old, zero)
+	}
+	f.iPut(ino, iSize, size)
 	f.bump(ino)
 	return nil
 }

@@ -45,8 +45,18 @@ type PutOpts struct {
 	// Perm sets page permissions on a child range.
 	Perm *PermRange
 	// Snap saves a snapshot of the child's post-copy memory as the
-	// reference for a later Get with Merge.
+	// reference for a later Get with Merge. The kernel maintains the
+	// snapshot incrementally: when the child's existing snapshot is
+	// provably its most recent one, only the level-2 tables the child
+	// (or this Put's Copy) touched since are re-shared and charged, so
+	// re-snapshotting an unchanged child is free. The resulting snapshot
+	// is identical — table for table — to one built from scratch.
 	Snap bool
+	// SnapFresh forces Snap to discard any existing snapshot and rebuild
+	// from scratch, re-sharing (and charging) every mapped table: the
+	// pre-incremental behavior, kept as a benchmarking baseline and
+	// ablation. Results are identical; only cost and churn differ.
+	SnapFresh bool
 	// Tree deep-copies the subtree rooted at the caller's child TreeSrc
 	// (memory, registers, snapshots and recursively all children) into
 	// this child, which must be stopped — the checkpoint/restore idiom.
@@ -96,6 +106,17 @@ type ChildInfo struct {
 	Err    error // trap cause for StatusFault/StatusExcept
 	Regs   Regs  // child registers, if GetOpts.Regs was set
 	Insns  int64 // instructions the child has executed
+	// Merge reports the reconciliation work done when GetOpts.Merge was
+	// set: the same deterministic statistics the cost model charges, so
+	// collectors (the deterministic scheduler's telemetry, the bench
+	// harness) can observe join volume without a second walk.
+	Merge vm.MergeStats
+	// MemClean reports, when GetOpts.Merge ran, that the child's memory
+	// is provably unchanged since its reference snapshot (the cheap
+	// vm.CleanSince proof). A clean child contributed nothing to the
+	// merge and its snapshot is still exact; collectors use this to skip
+	// redundant resynchronization. False means only "no proof".
+	MemClean bool
 }
 
 // lookupChild finds or creates the child named by ref, migrating the
@@ -181,11 +202,15 @@ func (sp *Space) put(ref uint64, o PutOpts) error {
 		}
 	}
 	if o.Snap {
-		if child.snap != nil {
-			child.snap.Free()
-		}
 		var st vm.CopyStats
-		child.snap, st = child.mem.Snapshot()
+		if o.SnapFresh {
+			if child.snap != nil {
+				child.snap.Free()
+			}
+			child.snap, st = child.mem.Snapshot()
+		} else {
+			child.snap, st = child.mem.Resnap(child.snap)
+		}
 		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
 	}
 	if o.Tree {
@@ -252,6 +277,8 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 			mode = vm.MergeLastWriter
 		}
 		st, err := vm.MergeParallel(sp.mem, child.mem, child.snap, r.Addr, r.Size, mode, sp.m.mergeWorkers)
+		info.Merge = st
+		info.MemClean = child.mem.CleanSince(child.snap)
 		// Adopted pages are pte moves; compared pages walk all 4 KiB.
 		// Charging them separately keeps join cost proportional to data
 		// actually reconciled, not to pages merely mapped.
@@ -286,13 +313,17 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 }
 
 // waitChildren blocks until every named child that exists has stopped,
-// using a GOMAXPROCS-bounded worker pool. It performs no state operation,
-// creates no children, charges no virtual time and does not migrate the
-// caller — it is a pure host-level latency hint that lets a collector
-// overlap the physical waiting for many children, after which the real
-// Get/Put rendezvous (still issued one at a time, in program order) find
-// the children already stopped. Skipping it never changes any result.
-func (sp *Space) waitChildren(refs []uint64) {
+// using a worker pool of the given width (<= 0 selects GOMAXPROCS). It
+// performs no state operation, creates no children, charges no virtual
+// time and does not migrate the caller — it is a pure host-level latency
+// hint that lets a collector overlap the physical waiting for many
+// children, after which the real Get/Put rendezvous (still issued one at
+// a time, in program order) find the children already stopped. Skipping
+// it, or varying the worker count, never changes any result.
+func (sp *Space) waitChildren(refs []uint64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var ready []*Space
 	for _, ref := range refs {
 		node, idx, err := sp.splitChildRef(ref)
@@ -304,7 +335,7 @@ func (sp *Space) waitChildren(refs []uint64) {
 			ready = append(ready, child)
 		}
 	}
-	vm.ParallelFor(len(ready), runtime.GOMAXPROCS(0), func(i int) {
+	vm.ParallelFor(len(ready), workers, func(i int) {
 		ready[i].waitStopped()
 	})
 }

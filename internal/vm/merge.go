@@ -32,7 +32,8 @@ type MergeStats struct {
 	PtesScanned   int // level-2 entries examined: O(mapped) unguided, O(dirtied) guided
 }
 
-func (s *MergeStats) add(o MergeStats) {
+// Add accumulates another merge's statistics into s.
+func (s *MergeStats) Add(o MergeStats) {
 	s.TablesAdopted += o.TablesAdopted
 	s.PagesAdopted += o.PagesAdopted
 	s.PagesCompared += o.PagesCompared
@@ -229,7 +230,7 @@ func MergeEx(dst, cur, ref *Space, addr Addr, size uint64, cfg MergeConfig) (Mer
 				&results[i].st, &results[i].conflict)
 		})
 		for i := range results {
-			st.add(results[i].st)
+			st.Add(results[i].st)
 			for _, a := range results[i].conflict.Addrs {
 				if len(conflict.Addrs) < maxReportedConflicts {
 					conflict.Addrs = append(conflict.Addrs, a)

@@ -104,10 +104,18 @@ func BlackscholesDsched(rt *core.RT, threads, size int) uint64 {
 // BlackscholesQuantum is BlackscholesDsched with an explicit quantum,
 // for the quantum-overhead ablation.
 func BlackscholesQuantum(rt *core.RT, threads, size int, quantum int64) uint64 {
+	v, _ := BlackscholesSched(rt, threads, size, dsched.Config{Quantum: quantum})
+	return v
+}
+
+// BlackscholesSched prices the portfolio under an explicitly configured
+// deterministic scheduler and also returns the scheduler's round
+// statistics — the entry point of the dsched round-engine experiment.
+func BlackscholesSched(rt *core.RT, threads, size int, cfg dsched.Config) (uint64, dsched.Stats) {
 	opts := GenOptions(size)
 	data := writeOptions(rt, opts)
 	prices := rt.Alloc(uint64(8*size), vm.PageSize)
-	s := dsched.New(rt, dsched.Config{Quantum: quantum})
+	s := dsched.New(rt, cfg)
 	if err := s.Run(threads, func(t *dsched.Thread) {
 		lo, hi := stripe(size, threads, t.ID)
 		if lo == hi {
@@ -128,7 +136,7 @@ func BlackscholesQuantum(rt *core.RT, threads, size int, quantum int64) uint64 {
 	}
 	buf := make([]float64, size)
 	rt.Env().ReadF64s(prices, buf)
-	return ChecksumF64(buf)
+	return ChecksumF64(buf), s.Stats()
 }
 
 // BlackscholesDet prices the portfolio on native private-workspace
