@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check ci
+# Output of `make bench-json`: override per PR / per CI run, e.g.
+# `make bench-json BENCH_OUT=BENCH_pr4.json`. CI uploads the file as a
+# build artifact so the perf trajectory is downloadable per run.
+BENCH_OUT ?= BENCH_pr3.json
+
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -28,14 +33,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Quick experiments end to end: proves the bench harness still runs and
-# the dsched round engine still beats the legacy loop path.
+# Quick experiments end to end: proves the bench harness still runs,
+# the dsched round engine still beats the legacy loop path, and the kv
+# reconciliation sweep still checksums identically across merge workers.
 bench-smoke:
-	$(GO) test -bench='Fig4|DschedRound' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Fig4|DschedRound|KVTable' -benchtime=1x -run='^$$' .
 
 # Machine-readable perf snapshot for the repo's trajectory artifacts
-# (BENCH_pr2.json and successors).
+# (BENCH_pr2.json and successors; see BENCH_OUT above).
 bench-json:
-	$(GO) run ./cmd/detbench -run dsched,merge -quick -json > BENCH_pr2.json
+	$(GO) run ./cmd/detbench -run dsched,merge,kv -quick -json > $(BENCH_OUT)
+
+# Mirrors the pinned CI job; requires staticcheck on PATH
+# (go install honnef.co/go/tools/cmd/staticcheck@2025.1).
+staticcheck:
+	staticcheck ./internal/fs/... ./internal/workload/... ./internal/bench/...
 
 ci: build vet fmt-check test race bench-smoke bench-json
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		$(MAKE) staticcheck; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs the pinned job)"; \
+	fi

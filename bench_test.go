@@ -42,6 +42,7 @@ func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)      { benchExperiment(b, "fig11") }
 func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }
 func BenchmarkQuantum(b *testing.B)    { benchExperiment(b, "quantum") }
+func BenchmarkKVTable(b *testing.B)    { benchExperiment(b, "kv") }
 func BenchmarkTab3(b *testing.B)       { benchExperiment(b, "tab3") }
 
 // Per-workload micro-benchmarks: each benchmark kernel on Determinator

@@ -72,9 +72,11 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func ms(d float64) string  { return fmt.Sprintf("%.1fms", d) }
 func iv(v int64) string    { return fmt.Sprintf("%d", v) }
 func mi(v int64) string    { return fmt.Sprintf("%.1fM", float64(v)/1e6) }
 func pct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+
+// rat formats an absolute ratio (no sign — pct is for deltas).
+func rat(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -7,27 +7,48 @@
 // reconciles a child's replica into its own using per-file versioning
 // in the style of Parker et al.'s mutual-inconsistency detection:
 //
-//   - files changed on only one side propagate to the other;
-//   - files changed on both sides conflict — the runtime keeps the
-//     parent's copy and marks the file conflicted, failing later opens;
+//   - entries changed on only one side propagate to the other;
+//   - entries changed on both sides conflict — the runtime keeps the
+//     parent's copy and marks the entry conflicted, failing later opens;
 //   - append-only files (console, logs) merge by concatenating both
 //     sides' appended tails, so concurrent logging never conflicts.
 //
-// The on-"disk" format is a fixed-layout byte image (superblock, inode
-// table, extent area) manipulated exclusively through the owning space's
-// Env accessors: the file system is ordinary user-space memory, which is
-// exactly what makes it replicable, and also why a wild pointer write can
-// corrupt it — a trade-off the paper acknowledges.
+// The on-"disk" format is a byte image (superblock, inode table, one or
+// more extent regions) manipulated exclusively through the owning
+// space's Env accessors: the file system is ordinary user-space memory,
+// which is exactly what makes it replicable, and also why a wild pointer
+// write can corrupt it — a trade-off the paper acknowledges (see
+// SetProtect).
 //
-// Like the paper's prototype, the file system is memory-only (no
-// persistence), capped by its in-space image size, and never garbage
-// collects freed extents.
+// Beyond the paper's prototype — which had a flat 16-entry root
+// directory and never reclaimed extents, a leak its authors document —
+// this implementation adds:
+//
+//   - directories: inodes carry a parent-ino field, names are path
+//     components, and Mkdir/ReadDir/Rename operate on slash-separated
+//     paths. Reconciliation is keyed by full path, so directory entries
+//     propagate, conflict and merge per-entry exactly the way file
+//     bytes do.
+//   - an extent free list: Unlink, Truncate and extent growth return
+//     space to a sorted, coalescing free list in the superblock page,
+//     and allocation is deterministic best-fit before bump-allocating.
+//   - Compact: a pass intended for synchronization points (after
+//     StampFork/ReconcileFrom quiesce, when no child replica is
+//     outstanding) that rewrites all live extents in inode order and
+//     zeroes everything else, so every replica that performs the same
+//     operation history computes a bit-identical image.
+//   - image growth: when the current regions are exhausted the image
+//     extends itself by mapping a fresh region chained from the
+//     superblock's region table, making ErrNoSpace a soft limit up to
+//     the configured maximum (FormatGrowable).
+//
+// The file system remains memory-only (no persistence) and
+// single-writer per replica, like the paper's.
 package fs
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
@@ -37,8 +58,9 @@ import (
 
 // Image geometry. All offsets are relative to the FS base address.
 const (
-	// Magic identifies a formatted image.
-	Magic = 0xD37F5001
+	// Magic identifies a formatted image (v2: directories + free list +
+	// chained regions).
+	Magic = 0xD37F5002
 
 	// DefaultBase is where the uproc runtime places the FS image: a
 	// 4 MiB-aligned address far from the shared-memory region.
@@ -47,19 +69,49 @@ const (
 	// size limited by address space" constraint, in miniature).
 	DefaultSize uint64 = 16 << 20
 
-	// NumInodes is the fixed number of inode slots.
+	// NumInodes is the fixed number of inode slots (slot 0 is the root
+	// directory).
 	NumInodes = 128
-	// MaxNameLen is the longest file name, including the terminating NUL.
-	MaxNameLen = 100
+	// MaxNameLen is the longest single path component, including the
+	// terminating NUL.
+	MaxNameLen = 96
 
 	inodeSize  = 128
 	inodeTable = vm.PageSize // inode table starts at page 1
 	dataStart  = inodeTable + NumInodes*inodeSize
 
-	// Superblock field offsets.
-	sbMagic  = 0
-	sbCursor = 4 // extent bump cursor (relative to base)
-	sbSize   = 8 // total image size
+	// GrowChunk is the minimum size of a chained region added when the
+	// image grows (requests larger than a chunk get a region big enough
+	// to hold them).
+	GrowChunk = 1 << 20
+
+	// Superblock field offsets (all uint32, page 0).
+	sbMagic     = 0
+	sbCursor    = 4  // extent bump cursor (relative to base)
+	sbSize      = 8  // currently mapped image size
+	sbMaxSize   = 12 // growth ceiling (== sbSize for fixed images)
+	sbFreeCount = 16 // live entries in the free table
+	sbAllocs    = 20 // extent allocations ever made
+	sbReused    = 24 // allocations served from the free list
+	sbReusedKB  = 28 // bytes so served, in KiB units to defer wrap
+	sbGrows     = 32 // chained regions added
+	sbCompacts  = 36 // Compact passes run
+	sbRegions   = 40 // entries in the region table
+	sbDropped   = 44 // free extents leaked to free-table overflow
+
+	// regionTable holds up to maxRegions {start,size} pairs describing
+	// the chained regions; region 0 is the one Format laid out.
+	regionTable = 64
+	maxRegions  = 64
+
+	// freeTable holds up to maxFree {off,len} pairs, sorted by offset,
+	// filling the rest of the superblock page.
+	freeTable = regionTable + maxRegions*8
+	maxFree   = (int(vm.PageSize) - freeTable) / 8
+
+	// regionMagic begins the header page of every chained (grown)
+	// region, forming a verifiable chain from the superblock.
+	regionMagic = 0xD37FAE91
 
 	// Inode field offsets.
 	iFlags       = 0
@@ -69,39 +121,44 @@ const (
 	iForkSize    = 16
 	iExtOff      = 20
 	iExtCap      = 24
-	iName        = 28
+	iParent      = 28
+	iName        = 32
 )
 
 // Inode flag bits. A slot is in use if it is live or a tombstone;
-// tombstones record deletions so that reconciliation can propagate them
-// (they occupy their slot forever — a prototype limitation kept from the
-// paper's no-garbage-collection design).
+// tombstones record deletions so that reconciliation can propagate them.
+// Unlike the paper's prototype, tombstone slots can be reclaimed — and
+// their names scrubbed — by Compact at a quiescent synchronization point.
 const (
-	flagExists     = 1 << 0 // live file
+	flagExists     = 1 << 0 // live entry
 	flagAppendOnly = 1 << 1
 	flagConflict   = 1 << 2
 	flagTomb       = 1 << 3 // deleted since some earlier version
+	flagDir        = 1 << 4 // directory
 )
 
 // Errors returned by the file API.
 var (
-	ErrNotFound  = errors.New("fs: file not found")
-	ErrExists    = errors.New("fs: file already exists")
-	ErrConflict  = errors.New("fs: file has unresolved reconciliation conflict")
-	ErrNoSpace   = errors.New("fs: image full")
-	ErrNameTaken = errors.New("fs: no free inode")
-	ErrBadName   = errors.New("fs: invalid file name")
-	ErrBadOffset = errors.New("fs: offset out of range")
+	ErrNotFound    = errors.New("fs: file not found")
+	ErrExists      = errors.New("fs: file already exists")
+	ErrConflict    = errors.New("fs: file has unresolved reconciliation conflict")
+	ErrNoSpace     = errors.New("fs: image full")
+	ErrNameTaken   = errors.New("fs: no free inode")
+	ErrBadName     = errors.New("fs: invalid file name")
+	ErrBadOffset   = errors.New("fs: offset out of range")
+	ErrIsDir       = errors.New("fs: is a directory")
+	ErrNotDir      = errors.New("fs: not a directory")
+	ErrDirNotEmpty = errors.New("fs: directory not empty")
 )
 
 // FS is a handle on a file system image within the calling space's own
 // memory. It holds no state outside the image itself (except the
 // write-protection flag), so any number of handles may be attached to
-// the same image.
+// the same image; image size and allocation state live in the
+// superblock, where replication picks them up for free.
 type FS struct {
 	env     *kernel.Env
 	base    vm.Addr
-	size    uint64
 	protect bool
 }
 
@@ -112,43 +169,155 @@ type FS struct {
 func (f *FS) SetProtect(on bool) {
 	f.protect = on
 	if on {
-		f.env.SetPerm(f.base, f.size, vm.PermR)
+		f.env.SetPerm(f.base, f.size(), vm.PermR)
 	} else {
-		f.env.SetPerm(f.base, f.size, vm.PermRW)
+		f.env.SetPerm(f.base, f.size(), vm.PermRW)
 	}
 }
 
 // unlock temporarily re-enables writes for one operation; the returned
-// function restores protection.
+// function restores protection over the image's then-current extent
+// (the operation may have grown it).
 func (f *FS) unlock() func() {
 	if !f.protect {
 		return func() {}
 	}
-	f.env.SetPerm(f.base, f.size, vm.PermRW)
-	return func() { f.env.SetPerm(f.base, f.size, vm.PermR) }
+	f.env.SetPerm(f.base, f.size(), vm.PermRW)
+	return func() { f.env.SetPerm(f.base, f.size(), vm.PermR) }
 }
 
-// Format initializes an empty image at base and returns a handle. The
-// caller must have mapped [base, base+size) read/write.
+// Format initializes an empty fixed-size image at base and returns a
+// handle, mapping (and zeroing) [base, base+size) itself.
 func Format(env *kernel.Env, base vm.Addr, size uint64) *FS {
-	f := &FS{env: env, base: base, size: size}
+	return FormatGrowable(env, base, size, size)
+}
+
+// FormatGrowable initializes an empty image of the given initial size
+// that may grow, in chained regions, up to maxSize — the paper's
+// fixed-image ErrNoSpace becomes a soft limit. The image maps its own
+// pages, at format time and whenever it grows.
+func FormatGrowable(env *kernel.Env, base vm.Addr, size, maxSize uint64) *FS {
+	size = roundPages(size)
+	maxSize = roundPages(maxSize)
+	if size < dataStart+vm.PageSize {
+		panic(fmt.Sprintf("fs: image size %d below minimum %d", size, dataStart+vm.PageSize))
+	}
+	if maxSize < size {
+		maxSize = size
+	}
+	// Image geometry lives in uint32 superblock fields: a 4 GiB ceiling
+	// would silently truncate to 0 and make every write fail ErrNoSpace.
+	if maxSize >= 1<<32 {
+		panic(fmt.Sprintf("fs: image ceiling %d must be below 4 GiB", maxSize))
+	}
+	f := &FS{env: env, base: base}
+	// Map and zero the whole initial region: stale bytes from a previous
+	// image must never read as inodes or free entries.
+	env.Zero(base, size, vm.PermRW)
 	f.pu32(sbMagic, Magic)
 	f.pu32(sbCursor, dataStart)
 	f.pu32(sbSize, uint32(size))
-	var zero [inodeSize]byte
-	for i := 0; i < NumInodes; i++ {
-		env.Write(base+vm.Addr(inodeTable+i*inodeSize), zero[:])
-	}
+	f.pu32(sbMaxSize, uint32(maxSize))
+	f.pu32(sbRegions, 1)
+	f.pu32(regionTable+0, 0)
+	f.pu32(regionTable+4, uint32(size))
+	// Slot 0 is the root directory: always live, never reconciled.
+	f.iPut(0, iFlags, flagExists|flagDir)
+	f.iPut(0, iVersion, 1)
+	f.iPut(0, iForkVersion, 1)
 	return f
 }
 
 // Attach returns a handle on an existing image (after fork or exec).
-func Attach(env *kernel.Env, base vm.Addr, size uint64) (*FS, error) {
-	f := &FS{env: env, base: base, size: size}
+// mapped is the span the caller knows to be addressable; the image's own
+// recorded size must fit inside it, and every chained region header must
+// check out, or the image is rejected as corrupt/foreign.
+func Attach(env *kernel.Env, base vm.Addr, mapped uint64) (*FS, error) {
+	f := &FS{env: env, base: base}
 	if f.gu32(sbMagic) != Magic {
 		return nil, fmt.Errorf("fs: no image at %#x", base)
 	}
+	size := f.gu32(sbSize)
+	if uint64(size) > mapped {
+		return nil, fmt.Errorf("fs: image claims %d bytes but only %d are mapped", size, mapped)
+	}
+	n := int(f.gu32(sbRegions))
+	if n < 1 || n > maxRegions {
+		return nil, fmt.Errorf("fs: corrupt region count %d", n)
+	}
+	end := uint32(0)
+	for i := 0; i < n; i++ {
+		start := f.gu32(uint32(regionTable + i*8))
+		rsize := f.gu32(uint32(regionTable + i*8 + 4))
+		if start != end || rsize == 0 {
+			return nil, fmt.Errorf("fs: region %d not chained (start %d, prev end %d)", i, start, end)
+		}
+		if i > 0 && (f.gu32(start) != regionMagic || f.gu32(start+4) != uint32(i)) {
+			return nil, fmt.Errorf("fs: region %d header missing", i)
+		}
+		end = start + rsize
+	}
+	if end != size {
+		return nil, fmt.Errorf("fs: regions cover %d bytes, superblock says %d", end, size)
+	}
+	// Allocation state must point into the chain too: a damaged cursor
+	// would panic on the first allocation, and damaged free entries
+	// would hand out extents on top of the metadata pages — the wild
+	// writes this layer otherwise guards against.
+	regs := f.regions()
+	if !insideDataArea(regs, f.gu32(sbCursor), 0) {
+		return nil, fmt.Errorf("fs: bump cursor %d outside the region chain", f.gu32(sbCursor))
+	}
+	if int(f.gu32(sbFreeCount)) > maxFree {
+		return nil, fmt.Errorf("fs: free table claims %d entries (max %d)", f.gu32(sbFreeCount), maxFree)
+	}
+	// Inode extents must point into the chain too: ReconcileFrom reads
+	// a replica's extents directly, and a corrupt iExtOff would turn
+	// into a machine fault mid-reconcile instead of this error.
+	for ino := 1; ino < NumInodes; ino++ {
+		fl := f.iGet(ino, iFlags)
+		c := f.iGet(ino, iExtCap)
+		isFile := fl&flagExists != 0 && fl&flagDir == 0
+		if !isFile && c != 0 {
+			// Free slots are scrubbed, tombstones freed their extent,
+			// directories never own one.
+			return nil, fmt.Errorf("fs: inode %d holds an extent it cannot own", ino)
+		}
+		if isFile {
+			if f.iGet(ino, iSize) > c {
+				return nil, fmt.Errorf("fs: inode %d size exceeds extent capacity", ino)
+			}
+			if c != 0 && !insideDataArea(regs, f.iGet(ino, iExtOff), c) {
+				return nil, fmt.Errorf("fs: inode %d extent [%d,+%d) outside the region chain",
+					ino, f.iGet(ino, iExtOff), c)
+			}
+		}
+	}
+	prevEnd := uint32(0)
+	for _, e := range f.readFreeList() {
+		if e.length == 0 || !insideDataArea(regs, e.off, e.length) {
+			return nil, fmt.Errorf("fs: free extent [%d,+%d) outside the region chain", e.off, e.length)
+		}
+		// The list must be sorted and disjoint: freeExtent's insertion
+		// and coalescing assume it, and duplicated entries would hand
+		// the same extent to two files.
+		if e.off < prevEnd {
+			return nil, fmt.Errorf("fs: free extent [%d,+%d) overlaps or disorders the free list", e.off, e.length)
+		}
+		prevEnd = e.off + e.length
+	}
 	return f, nil
+}
+
+// insideDataArea reports whether [off, off+length) lies entirely within
+// one region's allocatable span (length 0 checks the bare position).
+func insideDataArea(regs []extent, off, length uint32) bool {
+	for i, r := range regs {
+		if off >= regionDataStart(i, r) && uint64(off)+uint64(length) <= uint64(r.off+r.length) {
+			return true
+		}
+	}
+	return false
 }
 
 // low-level image accessors (offsets relative to base)
@@ -158,10 +327,34 @@ func (f *FS) pu32(off uint32, v uint32)   { f.env.WriteU32(f.base+vm.Addr(off), 
 func (f *FS) gbytes(off uint32, p []byte) { f.env.Read(f.base+vm.Addr(off), p) }
 func (f *FS) pbytes(off uint32, p []byte) { f.env.Write(f.base+vm.Addr(off), p) }
 
+func (f *FS) size() uint64    { return uint64(f.gu32(sbSize)) }
+func (f *FS) maxSize() uint64 { return uint64(f.gu32(sbMaxSize)) }
+
+func roundPages(n uint64) uint64 {
+	return (n + vm.PageSize - 1) &^ uint64(vm.PageSize-1)
+}
+
 func inodeOff(ino int) uint32 { return uint32(inodeTable + ino*inodeSize) }
 
 func (f *FS) iGet(ino int, field uint32) uint32    { return f.gu32(inodeOff(ino) + field) }
 func (f *FS) iPut(ino int, field uint32, v uint32) { f.pu32(inodeOff(ino)+field, v) }
+
+// inUse reports whether a slot holds a live entry or a tombstone. This
+// is the single authoritative free-slot test: every iteration over the
+// inode table goes through it (or through a flag test strictly narrower
+// than it), so a freed slot can never surface through lookup or List no
+// matter what stale bytes its name field holds.
+func (f *FS) inUse(ino int) bool {
+	return f.iGet(ino, iFlags)&(flagExists|flagTomb) != 0
+}
+
+// freeSlot releases an inode slot, scrubbing the whole record — name
+// included — so no later scan can observe a stale entry. The caller must
+// already have released the slot's extent.
+func (f *FS) freeSlot(ino int) {
+	var zero [inodeSize]byte
+	f.pbytes(inodeOff(ino), zero[:])
+}
 
 func (f *FS) name(ino int) string {
 	var buf [MaxNameLen]byte
@@ -178,81 +371,386 @@ func (f *FS) setName(ino int, name string) {
 	f.pbytes(inodeOff(ino)+iName, buf[:])
 }
 
-// lookup finds the inode holding a live file named name, or -1.
-func (f *FS) lookup(name string) int {
-	for i := 0; i < NumInodes; i++ {
-		if f.iGet(i, iFlags)&flagExists != 0 && f.name(i) == name {
+// pathOf reconstructs an entry's full path (no leading slash; "" is the
+// root) by walking parent links.
+func (f *FS) pathOf(ino int) string {
+	var parts []string
+	for depth := 0; ino != 0 && depth < NumInodes; depth++ {
+		parts = append(parts, f.name(ino))
+		ino = int(f.iGet(ino, iParent))
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// splitPath validates a slash-separated path and returns its components.
+// A leading slash is tolerated; empty, "." and ".." components are not.
+func splitPath(path string) ([]string, error) {
+	path = strings.TrimPrefix(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, c := range parts {
+		if c == "" || c == "." || c == ".." || len(c) >= MaxNameLen {
+			return nil, ErrBadName
+		}
+	}
+	return parts, nil
+}
+
+// childIn finds the in-use slot for name directly under directory dir
+// that satisfies want (a flag mask ANDed against the slot's flags), or
+// -1. There is at most one in-use slot per (dir, name).
+func (f *FS) childIn(dir int, name string, want uint32) int {
+	for i := 1; i < NumInodes; i++ {
+		if !f.inUse(i) || f.iGet(i, iFlags)&want == 0 {
+			continue
+		}
+		if int(f.iGet(i, iParent)) == dir && f.name(i) == name {
 			return i
 		}
 	}
 	return -1
 }
 
-// lookupAny finds the inode (live or tombstone) for name, or -1.
-func (f *FS) lookupAny(name string) int {
-	for i := 0; i < NumInodes; i++ {
-		if f.iGet(i, iFlags)&(flagExists|flagTomb) != 0 && f.name(i) == name {
-			return i
+// walkDirs resolves a chain of components as live directories, returning
+// the final directory's inode.
+func (f *FS) walkDirs(parts []string) (int, error) {
+	dir := 0
+	for _, c := range parts {
+		ino := f.childIn(dir, c, flagExists)
+		if ino < 0 {
+			return -1, ErrNotFound
 		}
+		if f.iGet(ino, iFlags)&flagDir == 0 {
+			return -1, ErrNotDir
+		}
+		dir = ino
 	}
-	return -1
+	return dir, nil
+}
+
+// resolveParent splits path into its parent directory (which must exist)
+// and leaf component.
+func (f *FS) resolveParent(path string) (int, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return -1, "", err
+	}
+	if len(parts) == 0 {
+		return -1, "", ErrBadName // the root itself is not an entry
+	}
+	dir, err := f.walkDirs(parts[:len(parts)-1])
+	if err != nil {
+		return -1, "", err
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// lookup finds the live entry at path, or -1.
+func (f *FS) lookup(path string) int {
+	dir, leaf, err := f.resolveParent(path)
+	if err != nil {
+		return -1
+	}
+	return f.childIn(dir, leaf, flagExists)
+}
+
+// lookupAny finds the live or tombstone entry at path, or -1. The
+// parent chain is resolved through live directories only: a path under a
+// deleted directory is gone.
+func (f *FS) lookupAny(path string) int {
+	dir, leaf, err := f.resolveParent(path)
+	if err != nil {
+		return -1
+	}
+	return f.childIn(dir, leaf, flagExists|flagTomb)
 }
 
 func (f *FS) freeInode() int {
-	for i := 0; i < NumInodes; i++ {
-		if f.iGet(i, iFlags)&(flagExists|flagTomb) == 0 {
+	for i := 1; i < NumInodes; i++ {
+		if !f.inUse(i) {
 			return i
 		}
 	}
 	return -1
 }
 
-// allocExtent reserves capacity bytes in the extent area using the bump
-// cursor. Extents are never reclaimed (the prototype's documented leak).
+// --- extent allocation: free list, bump cursor, chained growth ----------------
+
+type extent struct{ off, length uint32 }
+
+func (f *FS) readFreeList() []extent {
+	n := int(f.gu32(sbFreeCount))
+	if n <= 0 {
+		return nil
+	}
+	if n > maxFree {
+		n = maxFree
+	}
+	words := make([]uint32, 2*n)
+	f.env.ReadU32s(f.base+vm.Addr(freeTable), words)
+	list := make([]extent, n)
+	for i := range list {
+		list[i] = extent{words[2*i], words[2*i+1]}
+	}
+	return list
+}
+
+func (f *FS) writeFreeList(list []extent) {
+	words := make([]uint32, 2*len(list))
+	for i, e := range list {
+		words[2*i], words[2*i+1] = e.off, e.length
+	}
+	if len(words) > 0 {
+		f.env.WriteU32s(f.base+vm.Addr(freeTable), words)
+	}
+	f.pu32(sbFreeCount, uint32(len(list)))
+}
+
+// freeExtent returns [off, off+n) to the free list, coalescing with
+// adjacent entries. On table overflow the smallest entry is dropped — a
+// bounded, deterministic leak that the next Compact recovers anyway.
+func (f *FS) freeExtent(off, n uint32) {
+	if n == 0 {
+		return
+	}
+	list := f.readFreeList()
+	i := sort.Search(len(list), func(i int) bool { return list[i].off >= off })
+	list = append(list, extent{})
+	copy(list[i+1:], list[i:])
+	list[i] = extent{off, n}
+	if i+1 < len(list) && list[i].off+list[i].length == list[i+1].off {
+		list[i].length += list[i+1].length
+		list = append(list[:i+1], list[i+2:]...)
+	}
+	if i > 0 && list[i-1].off+list[i-1].length == list[i].off {
+		list[i-1].length += list[i].length
+		list = append(list[:i], list[i+1:]...)
+	}
+	if len(list) > maxFree {
+		drop := 0
+		for j := 1; j < len(list); j++ {
+			if list[j].length < list[drop].length {
+				drop = j
+			}
+		}
+		list = append(list[:drop], list[drop+1:]...)
+		f.pu32(sbDropped, f.gu32(sbDropped)+1)
+	}
+	f.writeFreeList(list)
+}
+
+func (f *FS) regions() []extent {
+	n := int(f.gu32(sbRegions))
+	words := make([]uint32, 2*n)
+	f.env.ReadU32s(f.base+vm.Addr(regionTable), words)
+	list := make([]extent, n)
+	for i := range list {
+		list[i] = extent{words[2*i], words[2*i+1]}
+	}
+	return list
+}
+
+// regionDataStart is where allocatable bytes begin within a region:
+// after the fixed metadata for region 0, after the header page for
+// chained regions.
+func regionDataStart(index int, r extent) uint32 {
+	if index == 0 {
+		return dataStart
+	}
+	return r.off + vm.PageSize
+}
+
+// grow chains a fresh region onto the image, large enough for want
+// bytes, reporting success. The new pages are mapped (and zeroed) by the
+// image itself — the caller's address space is the disk.
+func (f *FS) grow(want uint32) bool {
+	size := f.size()
+	maxSize := f.maxSize()
+	n := int(f.gu32(sbRegions))
+	if size >= maxSize || n >= maxRegions {
+		return false
+	}
+	need := roundPages(uint64(want) + vm.PageSize) // payload + header page
+	delta := need
+	if delta < GrowChunk {
+		delta = GrowChunk
+	}
+	if size+delta > maxSize {
+		delta = maxSize - size
+	}
+	if delta < need {
+		return false
+	}
+	f.env.Zero(f.base+vm.Addr(size), delta, vm.PermRW)
+	start := uint32(size)
+	f.pu32(start, regionMagic)
+	f.pu32(start+4, uint32(n))
+	f.pu32(start+8, start)
+	f.pu32(uint32(regionTable+n*8), start)
+	f.pu32(uint32(regionTable+n*8+4), uint32(delta))
+	f.pu32(sbRegions, uint32(n+1))
+	f.pu32(sbSize, uint32(size+delta))
+	f.pu32(sbGrows, f.gu32(sbGrows)+1)
+	return true
+}
+
+// allocExtent reserves capacity bytes: deterministic best-fit from the
+// free list first (smallest sufficient entry, lowest offset on ties),
+// then the bump cursor, growing the image when the current region is
+// exhausted. Extents never span regions; a too-small region tail goes
+// onto the free list.
 func (f *FS) allocExtent(capacity uint32) (uint32, error) {
+	list := f.readFreeList()
+	best := -1
+	for i, e := range list {
+		if e.length >= capacity && (best < 0 || e.length < list[best].length) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		off := list[best].off
+		if list[best].length == capacity {
+			list = append(list[:best], list[best+1:]...)
+		} else {
+			list[best].off += capacity
+			list[best].length -= capacity
+		}
+		f.writeFreeList(list)
+		f.pu32(sbAllocs, f.gu32(sbAllocs)+1)
+		f.pu32(sbReused, f.gu32(sbReused)+1)
+		// Exact: capacities are whole pages (canonicalCap), so KiB
+		// units lose nothing while keeping the counter wrap-proof.
+		f.pu32(sbReusedKB, f.gu32(sbReusedKB)+capacity/1024)
+		return off, nil
+	}
+
 	cur := f.gu32(sbCursor)
-	if uint64(cur)+uint64(capacity) > f.size {
-		return 0, ErrNoSpace
+	regs := f.regions()
+	ri := regionIndexOf(regs, cur)
+	for {
+		end := regs[ri].off + regs[ri].length
+		if uint64(cur)+uint64(capacity) <= uint64(end) {
+			break
+		}
+		// The cursor's region is exhausted (its remainder, if any, goes
+		// to the free list): advance into the next region — after a
+		// Compact the cursor may sit regions behind the chain's end —
+		// growing the chain only once there is no next region.
+		if ri+1 >= len(regs) {
+			if !f.grow(capacity) {
+				return 0, ErrNoSpace
+			}
+			regs = f.regions()
+		}
+		if end > cur {
+			f.freeExtent(cur, end-cur)
+		}
+		ri++
+		cur = regionDataStart(ri, regs[ri])
 	}
 	f.pu32(sbCursor, cur+capacity)
+	f.pu32(sbAllocs, f.gu32(sbAllocs)+1)
 	return cur, nil
 }
 
-func checkName(name string) error {
-	if name == "" || len(name) >= MaxNameLen {
-		return ErrBadName
+// regionIndexOf locates the region whose allocatable span contains the
+// bump cursor (a cursor at a region's very end still belongs to it).
+func regionIndexOf(regs []extent, cur uint32) int {
+	for i, r := range regs {
+		if cur >= regionDataStart(i, r) && cur <= r.off+r.length {
+			return i
+		}
 	}
-	return nil
+	// A freshly formatted image starts at region 0's data area; the
+	// cursor can never escape the chain.
+	panic(fmt.Sprintf("fs: bump cursor %d outside every region", cur))
 }
 
-// Create makes an empty regular file. Creating over a conflicted file
+// canonicalCap is the deterministic extent capacity for a file of n
+// bytes: the smallest power-of-two number of pages that holds it,
+// clamped to the image's growth ceiling. Every replica computes the same
+// capacity for the same size, which is what lets Compact lay out
+// identical images everywhere.
+func (f *FS) canonicalCap(n uint32) uint32 {
+	if n == 0 {
+		return 0
+	}
+	c := uint64(vm.PageSize)
+	for c < uint64(n) {
+		c *= 2
+	}
+	if m := f.maxSize(); c > m {
+		c = m
+	}
+	return uint32(c)
+}
+
+// --- the file API -------------------------------------------------------------
+
+// Create makes an empty regular file. Creating over a conflicted entry
 // clears the conflict (the "fix the bug and re-run" recovery path).
-func (f *FS) Create(name string) error { return f.create(name, 0) }
+func (f *FS) Create(path string) error { return f.create(path, 0) }
 
 // CreateAppendOnly makes an empty append-only file: concurrent appends
 // from different processes merge rather than conflict (§4.3). The
 // runtime uses these for console and log streams.
-func (f *FS) CreateAppendOnly(name string) error { return f.create(name, flagAppendOnly) }
+func (f *FS) CreateAppendOnly(path string) error { return f.create(path, flagAppendOnly) }
 
-func (f *FS) create(name string, extra uint32) error {
+// Mkdir makes an empty directory. Parent directories must already
+// exist.
+func (f *FS) Mkdir(path string) error { return f.create(path, flagDir) }
+
+func (f *FS) create(path string, extra uint32) error {
 	defer f.unlock()()
-	if err := checkName(name); err != nil {
+	dir, leaf, err := f.resolveParent(path)
+	if err != nil {
 		return err
 	}
-	if ino := f.lookupAny(name); ino >= 0 {
+	return f.createIn(dir, leaf, extra)
+}
+
+// createIn is create below a resolved parent directory; reconciliation
+// reuses it when adopting entries.
+func (f *FS) createIn(dir int, leaf string, extra uint32) error {
+	if ino := f.childIn(dir, leaf, flagExists|flagTomb); ino >= 0 {
 		fl := f.iGet(ino, iFlags)
 		switch {
 		case fl&flagTomb != 0:
-			// Revive a deleted file: keep the version history so the
-			// re-creation reconciles as a change.
+			// Revive a deleted entry: keep the version history so the
+			// re-creation reconciles as a change. Tombstones hold no
+			// extent (deletion frees it), so the slot is clean. The
+			// fork-time size is reset — the deletion severed any
+			// relation to fork-time content, so for an append-only
+			// file everything written from here counts as appended
+			// (a stale fork size made mergeAppends drop or mis-slice
+			// the revived content).
 			f.iPut(ino, iFlags, flagExists|extra)
 			f.iPut(ino, iSize, 0)
+			f.iPut(ino, iForkSize, 0)
 			f.bump(ino)
 			return nil
 		case fl&flagConflict != 0:
-			// Re-creating a conflicted file resolves the conflict.
-			f.iPut(ino, iFlags, fl&^flagConflict|extra)
+			// Re-creating a conflicted entry resolves the conflict; the
+			// old content's extent is returned to the free list, and
+			// the fork-time size resets for the same reason as above.
+			// A conflicted directory that still has live entries can
+			// only be re-created as a directory (Mkdir clears the
+			// flag): silently turning it into a file would orphan its
+			// children behind an untraversable path.
+			if fl&flagDir != 0 && extra&flagDir == 0 && f.dirHasLive(ino) {
+				return ErrDirNotEmpty
+			}
+			f.freeExtent(f.iGet(ino, iExtOff), f.iGet(ino, iExtCap))
+			f.iPut(ino, iExtOff, 0)
+			f.iPut(ino, iExtCap, 0)
+			f.iPut(ino, iFlags, flagExists|extra)
 			f.iPut(ino, iSize, 0)
+			f.iPut(ino, iForkSize, 0)
 			f.bump(ino)
 			return nil
 		default:
@@ -263,49 +761,152 @@ func (f *FS) create(name string, extra uint32) error {
 	if ino < 0 {
 		return ErrNameTaken
 	}
-	f.setName(ino, name)
-	f.iPut(ino, iFlags, flagExists|extra)
+	f.setName(ino, leaf)
+	f.iPut(ino, iParent, uint32(dir))
 	f.iPut(ino, iVersion, 1)
-	// ForkVersion 0 makes a freshly created file count as "changed since
-	// fork", so it propagates to the parent at reconciliation.
+	// ForkVersion 0 makes a freshly created entry count as "changed
+	// since fork", so it propagates to the parent at reconciliation.
 	f.iPut(ino, iForkVersion, 0)
 	f.iPut(ino, iSize, 0)
 	f.iPut(ino, iForkSize, 0)
 	f.iPut(ino, iExtOff, 0)
 	f.iPut(ino, iExtCap, 0)
+	// Flags last: until they are set the slot still scans as free, so a
+	// failure part-way through initialization can never leave a
+	// half-visible entry.
+	f.iPut(ino, iFlags, flagExists|extra)
 	return nil
 }
 
-// bump marks the file modified by this replica.
+// bump marks the entry modified by this replica.
 func (f *FS) bump(ino int) { f.iPut(ino, iVersion, f.iGet(ino, iVersion)+1) }
 
-// Unlink removes a file, leaving a tombstone so the deletion propagates
-// at reconciliation. Neither the slot nor the extent is reclaimed.
-func (f *FS) Unlink(name string) error {
+// tombstone turns a live entry into a deletion record, releasing its
+// extent to the free list. The directory bit survives on the tombstone
+// so reconciliation can order directory deletions after their contents'.
+func (f *FS) tombstone(ino int) {
+	f.freeExtent(f.iGet(ino, iExtOff), f.iGet(ino, iExtCap))
+	f.iPut(ino, iExtOff, 0)
+	f.iPut(ino, iExtCap, 0)
+	f.iPut(ino, iFlags, flagTomb|(f.iGet(ino, iFlags)&flagDir))
+	f.iPut(ino, iSize, 0)
+	f.bump(ino)
+}
+
+// Unlink removes a file or empty directory, leaving a tombstone so the
+// deletion propagates at reconciliation. Its extent — unlike the
+// paper's prototype — goes straight back to the free list.
+func (f *FS) Unlink(path string) error {
 	defer f.unlock()()
-	ino := f.lookup(name)
+	ino := f.lookup(path) // never 0: the root has no parent entry to match
 	if ino < 0 {
 		return ErrNotFound
 	}
-	f.iPut(ino, iFlags, flagTomb)
+	if f.iGet(ino, iFlags)&flagDir != 0 && f.dirHasLive(ino) {
+		return ErrDirNotEmpty
+	}
+	f.tombstone(ino)
+	return nil
+}
+
+func (f *FS) dirHasLive(dir int) bool {
+	for i := 1; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&flagExists != 0 && int(f.iGet(i, iParent)) == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// Rename moves a file (or empty directory) to a new path. It decomposes
+// into the two operations reconciliation already understands — a
+// tombstone at the old path and a from-scratch entry at the new one
+// carrying the data — so a rename propagates between replicas per-entry
+// exactly the way file bytes do. Renaming a non-empty directory is not
+// supported (its entries would need the same decomposition applied
+// transitively); callers rename the entries instead.
+func (f *FS) Rename(oldPath, newPath string) error {
+	defer f.unlock()()
+	ino := f.lookup(oldPath)
+	if ino < 0 {
+		return ErrNotFound
+	}
+	fl := f.iGet(ino, iFlags)
+	if fl&flagConflict != 0 {
+		// Conflicted entries fail later opens until explicitly
+		// re-created; renaming one would launder the mark away.
+		return ErrConflict
+	}
+	if fl&flagDir != 0 && f.dirHasLive(ino) {
+		return ErrDirNotEmpty
+	}
+	dir, leaf, err := f.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	// The destination directory chain must not pass through the entry
+	// being moved (only possible for an empty directory onto itself).
+	for d := dir; d != 0; d = int(f.iGet(d, iParent)) {
+		if d == ino {
+			return ErrBadName
+		}
+	}
+	if f.childIn(dir, leaf, flagExists) >= 0 {
+		return ErrExists
+	}
+	dst := f.childIn(dir, leaf, flagTomb)
+	if dst >= 0 && f.iGet(dst, iFlags)&flagConflict != 0 {
+		// A conflicted deletion record at the destination is a recorded
+		// divergence: only the explicit re-create recovery may clear it.
+		return ErrConflict
+	}
+	if dst < 0 {
+		dst = f.freeInode()
+		if dst < 0 {
+			return ErrNameTaken
+		}
+		f.setName(dst, leaf)
+		f.iPut(dst, iParent, uint32(dir))
+		f.iPut(dst, iVersion, 0)
+		f.iPut(dst, iForkVersion, 0)
+		f.iPut(dst, iForkSize, 0)
+	}
+	// The destination adopts the source's data extent wholesale and
+	// counts as newly changed; the source becomes a plain deletion.
+	// ForkSize resets even on a reused tombstone slot: none of the
+	// moved content existed at this path at fork time.
+	f.iPut(dst, iExtOff, f.iGet(ino, iExtOff))
+	f.iPut(dst, iExtCap, f.iGet(ino, iExtCap))
+	f.iPut(dst, iSize, f.iGet(ino, iSize))
+	f.iPut(dst, iForkSize, 0)
+	v := f.iGet(dst, iVersion)
+	if sv := f.iGet(ino, iVersion); sv > v {
+		v = sv
+	}
+	f.iPut(dst, iVersion, v+1)
+	f.iPut(dst, iFlags, flagExists|(fl&(flagAppendOnly|flagDir)))
+	f.iPut(ino, iExtOff, 0)
+	f.iPut(ino, iExtCap, 0)
+	f.iPut(ino, iFlags, flagTomb|(fl&flagDir))
 	f.iPut(ino, iSize, 0)
 	f.bump(ino)
 	return nil
 }
 
-// Info describes a file.
+// Info describes a file or directory.
 type Info struct {
-	Name       string
+	Name       string // full path, no leading slash
 	Size       int
 	Version    uint32
 	AppendOnly bool
 	Conflicted bool
+	Dir        bool
 }
 
-// Stat reports a file's metadata. Conflicted files can be statted (the
-// conflict flag is how the caller finds out).
-func (f *FS) Stat(name string) (Info, error) {
-	ino := f.lookup(name)
+// Stat reports an entry's metadata. Conflicted entries can be statted
+// (the conflict flag is how the caller finds out).
+func (f *FS) Stat(path string) (Info, error) {
+	ino := f.lookup(path)
 	if ino < 0 {
 		return Info{}, ErrNotFound
 	}
@@ -315,19 +916,21 @@ func (f *FS) Stat(name string) (Info, error) {
 func (f *FS) statIno(ino int) Info {
 	fl := f.iGet(ino, iFlags)
 	return Info{
-		Name:       f.name(ino),
+		Name:       f.pathOf(ino),
 		Size:       int(f.iGet(ino, iSize)),
 		Version:    f.iGet(ino, iVersion),
 		AppendOnly: fl&flagAppendOnly != 0,
 		Conflicted: fl&flagConflict != 0,
+		Dir:        fl&flagDir != 0,
 	}
 }
 
-// List returns the names of all files, sorted (a deterministic order, in
-// keeping with §2.4 — directory iteration must not leak timing).
+// List returns every live entry in the image (files and directories,
+// the root excluded), sorted by path — a deterministic order, in
+// keeping with §2.4: directory iteration must not leak timing.
 func (f *FS) List() []Info {
 	var out []Info
-	for i := 0; i < NumInodes; i++ {
+	for i := 1; i < NumInodes; i++ {
 		if f.iGet(i, iFlags)&flagExists != 0 {
 			out = append(out, f.statIno(i))
 		}
@@ -336,51 +939,64 @@ func (f *FS) List() []Info {
 	return out
 }
 
+// ReadDir returns the live entries directly under path ("" or "/" for
+// the root), sorted by name.
+func (f *FS) ReadDir(path string) ([]Info, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := f.walkDirs(parts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Info
+	for i := 1; i < NumInodes; i++ {
+		if f.iGet(i, iFlags)&flagExists != 0 && int(f.iGet(i, iParent)) == dir {
+			out = append(out, f.statIno(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
 // checkRange validates a byte-range request before any of the 32-bit
 // on-image arithmetic can wrap: negative offsets and ranges whose end
-// exceeds the image geometry are rejected up front. It returns the
-// validated start and end as image-safe uint32s. Prior to this check,
-// uint32(off) silently wrapped a negative offset to a huge one, letting
-// a single bad WriteAt trample other files' extents — the exact failure
-// mode SetProtect exists to prevent from outside the API, happening
-// from inside it.
+// exceeds the image's growth ceiling are rejected up front. It returns
+// the validated start and end as image-safe uint32s. Prior to this
+// check, uint32(off) silently wrapped a negative offset to a huge one,
+// letting a single bad WriteAt trample other files' extents — the exact
+// failure mode SetProtect exists to prevent from outside the API,
+// happening from inside it.
 func (f *FS) checkRange(off, n int) (uint32, uint32, error) {
-	if off < 0 || n < 0 || uint64(off) > f.size {
+	limit := f.maxSize()
+	if off < 0 || n < 0 || uint64(off) > limit {
 		return 0, 0, ErrBadOffset
 	}
-	// off is now bounded by the image and n by a real slice length, so
-	// the 64-bit sum cannot overflow.
+	// off is now bounded by the image ceiling and n by a real slice
+	// length, so the 64-bit sum cannot overflow.
 	end := int64(off) + int64(n)
-	if end > int64(f.size) || end > math.MaxUint32 {
+	if end > int64(limit) {
 		return 0, 0, ErrBadOffset
 	}
 	return uint32(off), uint32(end), nil
 }
 
 // ensureCap grows a file's extent to hold at least n bytes, copying the
-// current contents into the new extent. Growth is computed in 64-bit
-// space and capped at the image size: the former uint32 doubling loop
-// wrapped to zero — and spun forever — once a requested size crossed
-// 2³¹.
+// current contents into the new extent and freeing the old one. Growth
+// is computed in 64-bit space and capped at the image ceiling: the
+// former uint32 doubling loop wrapped to zero — and spun forever — once
+// a requested size crossed 2³¹.
 func (f *FS) ensureCap(ino int, n uint32) error {
 	cap0 := f.iGet(ino, iExtCap)
 	if n <= cap0 {
 		return nil
 	}
-	if uint64(n) > f.size {
+	if uint64(n) > f.maxSize() {
 		return ErrNoSpace // could never fit even in an empty image
 	}
-	newCap := uint64(vm.PageSize)
-	for newCap < uint64(n) {
-		newCap *= 2
-	}
-	if newCap > f.size {
-		newCap = f.size
-	}
-	if newCap > math.MaxUint32 {
-		newCap = math.MaxUint32
-	}
-	off, err := f.allocExtent(uint32(newCap))
+	newCap := f.canonicalCap(n)
+	off, err := f.allocExtent(newCap)
 	if err != nil {
 		return err
 	}
@@ -390,19 +1006,32 @@ func (f *FS) ensureCap(ino int, n uint32) error {
 		f.gbytes(f.iGet(ino, iExtOff), buf)
 		f.pbytes(off, buf)
 	}
+	f.freeExtent(f.iGet(ino, iExtOff), cap0)
 	f.iPut(ino, iExtOff, off)
-	f.iPut(ino, iExtCap, uint32(newCap))
+	f.iPut(ino, iExtCap, newCap)
 	return nil
+}
+
+// resolveFile looks up a live regular file for a data operation.
+func (f *FS) resolveFile(path string) (int, error) {
+	ino := f.lookup(path)
+	if ino < 0 {
+		return -1, ErrNotFound
+	}
+	if f.iGet(ino, iFlags)&flagDir != 0 {
+		return -1, ErrIsDir
+	}
+	return ino, nil
 }
 
 // WriteAt writes p at byte offset off, growing the file as needed, and
 // bumps the file's version. Offsets that are negative or whose end would
-// exceed the image return ErrBadOffset before touching any byte.
-func (f *FS) WriteAt(name string, off int, p []byte) error {
+// exceed the image ceiling return ErrBadOffset before touching any byte.
+func (f *FS) WriteAt(path string, off int, p []byte) error {
 	defer f.unlock()()
-	ino := f.lookup(name)
-	if ino < 0 {
-		return ErrNotFound
+	ino, err := f.resolveFile(path)
+	if err != nil {
+		return err
 	}
 	return f.writeAt(ino, off, p)
 }
@@ -435,15 +1064,12 @@ func (f *FS) writeAt(ino int, off int, p []byte) error {
 }
 
 // Append writes p at end of file. The size lookup and the write happen
-// as one operation under a single write-protection window — the previous
-// implementation read iSize outside the window and re-resolved the inode
-// through WriteAt, leaving a gap in which the image was writable with a
-// stale size.
-func (f *FS) Append(name string, p []byte) error {
+// as one operation under a single write-protection window.
+func (f *FS) Append(path string, p []byte) error {
 	defer f.unlock()()
-	ino := f.lookup(name)
-	if ino < 0 {
-		return ErrNotFound
+	ino, err := f.resolveFile(path)
+	if err != nil {
+		return err
 	}
 	return f.writeAt(ino, int(f.iGet(ino, iSize)), p)
 }
@@ -451,10 +1077,10 @@ func (f *FS) Append(name string, p []byte) error {
 // ReadAt reads up to len(p) bytes at offset off, returning the count.
 // Negative offsets return ErrBadOffset (the old code wrapped them to
 // huge ones and read other files' bytes).
-func (f *FS) ReadAt(name string, off int, p []byte) (int, error) {
-	ino := f.lookup(name)
-	if ino < 0 {
-		return 0, ErrNotFound
+func (f *FS) ReadAt(path string, off int, p []byte) (int, error) {
+	ino, err := f.resolveFile(path)
+	if err != nil {
+		return 0, err
 	}
 	if f.iGet(ino, iFlags)&flagConflict != 0 {
 		return 0, ErrConflict
@@ -475,39 +1101,44 @@ func (f *FS) ReadAt(name string, off int, p []byte) (int, error) {
 }
 
 // ReadFile returns a file's full contents.
-func (f *FS) ReadFile(name string) ([]byte, error) {
-	info, err := f.Stat(name)
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	info, err := f.Stat(path)
 	if err != nil {
 		return nil, err
+	}
+	if info.Dir {
+		return nil, ErrIsDir
 	}
 	if info.Conflicted {
 		return nil, ErrConflict
 	}
 	buf := make([]byte, info.Size)
-	_, err = f.ReadAt(name, 0, buf)
+	_, err = f.ReadAt(path, 0, buf)
 	return buf, err
 }
 
 // WriteFile replaces a file's contents, creating it if needed.
-func (f *FS) WriteFile(name string, p []byte) error {
-	if f.lookup(name) < 0 {
-		if err := f.Create(name); err != nil {
+func (f *FS) WriteFile(path string, p []byte) error {
+	if f.lookup(path) < 0 {
+		if err := f.Create(path); err != nil {
 			return err
 		}
 	}
-	if err := f.Truncate(name, 0); err != nil {
+	if err := f.Truncate(path, 0); err != nil {
 		return err
 	}
-	return f.WriteAt(name, 0, p)
+	return f.WriteAt(path, 0, p)
 }
 
 // Truncate sets a file's size to n (growing zero-filled if needed).
-// Negative or image-exceeding sizes return ErrBadOffset.
-func (f *FS) Truncate(name string, n int) error {
+// Shrinking returns the extent tail beyond the new canonical capacity to
+// the free list; truncating to zero releases the extent entirely.
+// Negative or ceiling-exceeding sizes return ErrBadOffset.
+func (f *FS) Truncate(path string, n int) error {
 	defer f.unlock()()
-	ino := f.lookup(name)
-	if ino < 0 {
-		return ErrNotFound
+	ino, err := f.resolveFile(path)
+	if err != nil {
+		return err
 	}
 	if f.iGet(ino, iFlags)&flagConflict != 0 {
 		return ErrConflict
@@ -523,23 +1154,103 @@ func (f *FS) Truncate(name string, n int) error {
 		zero := make([]byte, size-old)
 		f.pbytes(f.iGet(ino, iExtOff)+old, zero)
 	}
+	if newCap := f.canonicalCap(size); newCap < f.iGet(ino, iExtCap) {
+		off := f.iGet(ino, iExtOff)
+		f.freeExtent(off+newCap, f.iGet(ino, iExtCap)-newCap)
+		f.iPut(ino, iExtCap, newCap)
+		if newCap == 0 {
+			f.iPut(ino, iExtOff, 0)
+		}
+	}
 	f.iPut(ino, iSize, size)
 	f.bump(ino)
 	return nil
 }
 
-// StampFork records, for every file, the version and size at this moment.
-// The runtime calls it in a child immediately after fork (and again after
-// a two-way sync); reconciliation later compares both replicas against
-// these recorded fork-time values to decide which side changed (the
-// degenerate two-replica version vector of Parker et al.).
+// StampFork records, for every entry, the version and size at this
+// moment. The runtime calls it in a child immediately after fork (and
+// again after a two-way sync); reconciliation later compares both
+// replicas against these recorded fork-time values to decide which side
+// changed (the degenerate two-replica version vector of Parker et al.).
 func (f *FS) StampFork() {
 	defer f.unlock()()
-	for i := 0; i < NumInodes; i++ {
-		if f.iGet(i, iFlags)&(flagExists|flagTomb) == 0 {
+	for i := 1; i < NumInodes; i++ {
+		if !f.inUse(i) {
 			continue
 		}
 		f.iPut(i, iForkVersion, f.iGet(i, iVersion))
 		f.iPut(i, iForkSize, f.iGet(i, iSize))
 	}
+}
+
+// --- introspection ------------------------------------------------------------
+
+// ImageSize reports the image's currently mapped extent in bytes.
+func (f *FS) ImageSize() uint64 { return f.size() }
+
+// ImageSizeAt reads the recorded size of an image at base without
+// attaching to it. Collectors use it to learn how many bytes of a child
+// replica to copy before the full image — and its validation — is in
+// reach; only the first page needs to be present.
+func ImageSizeAt(env *kernel.Env, base vm.Addr) (uint64, error) {
+	if env.ReadU32(base+sbMagic) != Magic {
+		return 0, fmt.Errorf("fs: no image at %#x", base)
+	}
+	return uint64(env.ReadU32(base + sbSize)), nil
+}
+
+// GCStats reports the allocator's reuse and growth counters, which live
+// in the superblock and are therefore per-replica and fully
+// deterministic.
+type GCStats struct {
+	Allocs      int   // extent allocations ever made
+	Reused      int   // allocations served from the free list
+	ReusedBytes int64 // bytes so served
+	FreeExtents int   // current free-list entries
+	FreeBytes   int64 // bytes currently on the free list
+	Grows       int   // chained regions added
+	Compactions int   // Compact passes run
+	Dropped     int   // free extents leaked to table overflow
+}
+
+// GC reads the current garbage-collection statistics.
+func (f *FS) GC() GCStats {
+	st := GCStats{
+		Allocs:      int(f.gu32(sbAllocs)),
+		Reused:      int(f.gu32(sbReused)),
+		ReusedBytes: int64(f.gu32(sbReusedKB)) * 1024,
+		Grows:       int(f.gu32(sbGrows)),
+		Compactions: int(f.gu32(sbCompacts)),
+		Dropped:     int(f.gu32(sbDropped)),
+	}
+	for _, e := range f.readFreeList() {
+		st.FreeExtents++
+		st.FreeBytes += int64(e.length)
+	}
+	return st
+}
+
+// Checksum hashes the entire image (FNV-1a 64). After a Compact the
+// image layout is canonical, so replicas that performed the same
+// operation history produce identical checksums — the bit-determinism
+// assertion the benchmarks lean on.
+func (f *FS) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	size := f.size()
+	buf := make([]byte, 64<<10)
+	for off := uint64(0); off < size; off += uint64(len(buf)) {
+		n := uint64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		f.gbytes(uint32(off), buf[:n])
+		for _, b := range buf[:n] {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
 }

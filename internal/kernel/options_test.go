@@ -272,3 +272,59 @@ func TestInsnCountVisible(t *testing.T) {
 		}
 	})
 }
+
+func TestPutGetCopiesMultipleRanges(t *testing.T) {
+	// Copies ships several disjoint regions in one Put (the fork idiom
+	// for a thread that carries both a shared region and an FS image),
+	// and collects them with one Get.
+	const (
+		regA vm.Addr = 0
+		regB vm.Addr = 0x0100_0000
+		back vm.Addr = 0x0200_0000
+	)
+	runRoot(t, func(env *Env) {
+		env.SetPerm(regA, vm.PageSize, vm.PermRW)
+		env.SetPerm(regB, vm.PageSize, vm.PermRW)
+		env.Write(regA, []byte("alpha"))
+		env.Write(regB, []byte("beta"))
+		if err := env.Put(1, PutOpts{
+			Regs: &Regs{Entry: func(c *Env) {
+				var a, b [5]byte
+				c.Read(regA, a[:])
+				c.Read(regB, b[:])
+				if string(a[:]) != "alpha" || string(b[:4]) != "beta" {
+					panic("Copies did not ship both ranges")
+				}
+				c.Write(regA, []byte("ALPHA"))
+				c.Write(regB, []byte("BETA!"))
+			}},
+			Copies: []CopyRange{
+				{Src: regA, Dst: regA, Size: vm.PageSize},
+				{Src: regB, Dst: regB, Size: vm.PageSize},
+			},
+			Start: true,
+		}); err != nil {
+			panic(err)
+		}
+		env.SetPerm(back, 2*vm.PageSize, vm.PermRW)
+		if _, err := env.Get(1, GetOpts{
+			Copies: []CopyRange{
+				{Src: regA, Dst: back, Size: vm.PageSize},
+				{Src: regB, Dst: back + vm.PageSize, Size: vm.PageSize},
+			},
+		}); err != nil {
+			panic(err)
+		}
+		var a, b [5]byte
+		env.Read(back, a[:])
+		env.Read(back+vm.PageSize, b[:])
+		if string(a[:]) != "ALPHA" || string(b[:]) != "BETA!" {
+			panic("Get Copies did not collect both ranges")
+		}
+		// The parent's own copies of the regions are untouched.
+		env.Read(regA, a[:])
+		if string(a[:]) != "alpha" {
+			panic("child write leaked into parent range")
+		}
+	})
+}

@@ -39,6 +39,11 @@ type PutOpts struct {
 	Zero *PermRange
 	// Copy copies a parent range into the child copy-on-write.
 	Copy *CopyRange
+	// Copies applies additional parent→child range copies after Copy:
+	// the multi-region fork idiom (e.g. shipping a thread's shared
+	// region and its chained file-system image in one Put). Ranges are
+	// applied in order, each copy-on-write like Copy.
+	Copies []CopyRange
 	// CopyAll copies the parent's entire address space into the child:
 	// the fork idiom ("one Put call copies the parent's memory state").
 	CopyAll bool
@@ -80,6 +85,9 @@ type GetOpts struct {
 	Zero *PermRange
 	// Copy copies a child range into the parent copy-on-write.
 	Copy *CopyRange
+	// Copies applies additional child→parent range copies after Copy,
+	// in order — the collector-side pair of PutOpts.Copies.
+	Copies []CopyRange
 	// CopyAll copies the child's entire address space into the parent
 	// (the exec idiom: "this Get returns into the new program").
 	CopyAll bool
@@ -142,6 +150,15 @@ func (sp *Space) lookupChild(op string, ref uint64) (*Space, error) {
 	return child, nil
 }
 
+// copyList flattens the single Copy option and the Copies list into one
+// ordered sequence of ranges to apply.
+func copyList(first *CopyRange, rest []CopyRange) []CopyRange {
+	if first == nil {
+		return rest
+	}
+	return append([]CopyRange{*first}, rest...)
+}
+
 // rendezvous blocks until the child stops, finalizes its virtual-time
 // segment, and synchronizes the parent's clock with it. Time the caller
 // spends waiting here counts as blocked, not as CPU occupancy.
@@ -184,14 +201,16 @@ func (sp *Space) put(ref uint64, o PutOpts) error {
 	if o.CopyAll {
 		st := child.mem.CopyAllFrom(sp.mem)
 		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
-	} else if o.Copy != nil {
-		st, err := child.mem.CopyFrom(sp.mem, o.Copy.Src, o.Copy.Dst, o.Copy.Size)
-		if err != nil {
-			return kerr("put", "copy: %v", err)
+	} else {
+		for _, c := range copyList(o.Copy, o.Copies) {
+			st, err := child.mem.CopyFrom(sp.mem, c.Src, c.Dst, c.Size)
+			if err != nil {
+				return kerr("put", "copy: %v", err)
+			}
+			sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
 		}
-		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
 	}
-	if o.CopyAll || o.Copy != nil {
+	if o.CopyAll || o.Copy != nil || len(o.Copies) > 0 {
 		// COW sharing means the child's view of the copied pages is as
 		// resident as the parent's was.
 		sp.inheritResidency(child)
@@ -257,12 +276,14 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 	if o.CopyAll {
 		st := sp.mem.CopyAllFrom(child.mem)
 		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
-	} else if o.Copy != nil {
-		st, err := sp.mem.CopyFrom(child.mem, o.Copy.Src, o.Copy.Dst, o.Copy.Size)
-		if err != nil {
-			return info, kerr("get", "copy: %v", err)
+	} else {
+		for _, c := range copyList(o.Copy, o.Copies) {
+			st, err := sp.mem.CopyFrom(child.mem, c.Src, c.Dst, c.Size)
+			if err != nil {
+				return info, kerr("get", "copy: %v", err)
+			}
+			sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
 		}
-		sp.chargeVT(int64(st.TablesShared+st.PagesShared+st.PagesZeroed) * cost.PageCopy)
 	}
 	if o.Merge {
 		if child.snap == nil {

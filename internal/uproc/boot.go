@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/fs"
 	"repro/internal/kernel"
-	"repro/internal/vm"
 )
 
 // BootConfig describes the machine and environment for a process tree.
@@ -54,10 +53,9 @@ func Boot(cfg BootConfig, entry string, args ...string) BootResult {
 	return BootResult{ExitStatus: int(res.Ret), Run: res}
 }
 
-// formatRoot maps and formats the root process's file system image,
-// including the console special files (§4.3).
+// formatRoot formats the root process's file system image (Format maps
+// its own pages), including the console special files (§4.3).
 func formatRoot(env *kernel.Env) *fs.FS {
-	env.SetPerm(FSBase, FSSize, vm.PermRW)
 	fsys := fs.Format(env, FSBase, FSSize)
 	if err := fsys.CreateAppendOnly(ConsoleIn); err != nil {
 		panic(err)
