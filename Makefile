@@ -4,9 +4,9 @@
 GO ?= go
 
 # Output of `make bench-json`: override per PR / per CI run, e.g.
-# `make bench-json BENCH_OUT=BENCH_pr4.json`. CI uploads the file as a
+# `make bench-json BENCH_OUT=BENCH_pr5.json`. CI uploads the file as a
 # build artifact so the perf trajectory is downloadable per run.
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 
 .PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck ci
 
@@ -34,15 +34,17 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Quick experiments end to end: proves the bench harness still runs,
-# the dsched round engine still beats the legacy loop path, and the kv
-# reconciliation sweep still checksums identically across merge workers.
+# the dsched round engine still beats the legacy loop path, the kv
+# reconciliation sweep still checksums identically across merge workers,
+# and the sharded barrier tree still matches the flat collector bit for
+# bit while cutting the root's cross-node messages.
 bench-smoke:
-	$(GO) test -bench='Fig4|DschedRound|KVTable' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Fig4|DschedRound|KVTable|ClusterTable' -benchtime=1x -run='^$$' .
 
 # Machine-readable perf snapshot for the repo's trajectory artifacts
 # (BENCH_pr2.json and successors; see BENCH_OUT above).
 bench-json:
-	$(GO) run ./cmd/detbench -run dsched,merge,kv -quick -json > $(BENCH_OUT)
+	$(GO) run ./cmd/detbench -run dsched,merge,kv,cluster -quick -json > $(BENCH_OUT)
 
 # Mirrors the pinned CI job; requires staticcheck on PATH
 # (go install honnef.co/go/tools/cmd/staticcheck@2025.1).

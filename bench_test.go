@@ -33,17 +33,18 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkFig4(b *testing.B)       { benchExperiment(b, "fig4") }
-func BenchmarkMergeTable(b *testing.B) { benchExperiment(b, "merge") }
-func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
-func BenchmarkFig8(b *testing.B)       { benchExperiment(b, "fig8") }
-func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
-func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
-func BenchmarkFig11(b *testing.B)      { benchExperiment(b, "fig11") }
-func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }
-func BenchmarkQuantum(b *testing.B)    { benchExperiment(b, "quantum") }
-func BenchmarkKVTable(b *testing.B)    { benchExperiment(b, "kv") }
-func BenchmarkTab3(b *testing.B)       { benchExperiment(b, "tab3") }
+func BenchmarkFig4(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkMergeTable(b *testing.B)   { benchExperiment(b, "merge") }
+func BenchmarkFig7(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkQuantum(b *testing.B)      { benchExperiment(b, "quantum") }
+func BenchmarkKVTable(b *testing.B)      { benchExperiment(b, "kv") }
+func BenchmarkClusterTable(b *testing.B) { benchExperiment(b, "cluster") }
+func BenchmarkTab3(b *testing.B)         { benchExperiment(b, "tab3") }
 
 // Per-workload micro-benchmarks: each benchmark kernel on Determinator
 // and on the nondeterministic baseline, at a fixed small size, so

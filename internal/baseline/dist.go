@@ -98,3 +98,45 @@ func MatmultDist(nodes, n int, cost kernel.CostModel) DistResult {
 	wg.Wait()
 	return DistResult{Value: workload.ChecksumU32(c), VT: net.now(master)}
 }
+
+// StencilDist is the distributed-memory equivalent of the cluster
+// stencil (workload.ClusterStencil): one worker endpoint per node owns
+// its block of thread stripes privately; every phase the master gathers
+// each worker's boundary words, broadcasts the combined vector, and the
+// workers compute their stripes locally. Only boundaries and work
+// descriptors cross the wire — the explicit-messaging program a
+// distributed-systems programmer would write by hand — making it the
+// fairness baseline for the sharded barrier tree, which must approach
+// this traffic shape while still providing the shared-memory model.
+func StencilDist(nodes, threads, pagesPerThread, phases int, cost kernel.CostModel) int64 {
+	net := newSimnet(nodes+1, cost)
+	const master = 0
+	// Stripe ownership mirrors the deterministic side's blocked
+	// placement exactly: thread i lives on node i*nodes/threads, so an
+	// uneven division assigns the same per-node stripe counts here.
+	perNode := make([]int, nodes)
+	for i := 0; i < threads; i++ {
+		perNode[i*nodes/threads]++
+	}
+	stripeBytes := pagesPerThread * 4096
+	for p := 0; p < phases; p++ {
+		// Masters' broadcast of the combined boundary vector...
+		for w := 0; w < nodes; w++ {
+			net.send(master, w+1, 8*threads)
+		}
+		// ...each worker recomputes its stripes (same tick accounting as
+		// the deterministic version: one write per 8 bytes)...
+		for w := 0; w < nodes; w++ {
+			net.compute(w+1, int64(perNode[w])*int64(stripeBytes)/8)
+		}
+		// ...and returns its new boundary words.
+		for w := 0; w < nodes; w++ {
+			net.send(w+1, master, 8*perNode[w])
+		}
+	}
+	// Final gather of the stripes themselves for the result checksum.
+	for w := 0; w < nodes; w++ {
+		net.send(w+1, master, perNode[w]*stripeBytes)
+	}
+	return net.now(master)
+}

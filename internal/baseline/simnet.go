@@ -32,10 +32,21 @@ func (s *simnet) compute(ep int, ticks int64) {
 
 // send models a message of the given payload size from one endpoint to
 // another: the sender is busy for the serialization time, and the
-// receiver cannot proceed past the delivery time.
+// receiver cannot proceed past the delivery time. The base charge is
+// one round trip (MigrateMsg) plus per-byte transfer, as before
+// batching existed; a payload spanning more than one batch window
+// (CostModel.BatchPages pages) additionally pays the kernel protocol's
+// per-batch framing for each batch beyond the first, so large transfers
+// are charged the same batch overheads in both worlds.
 func (s *simnet) send(from, to int, bytes int) {
 	c := s.cost
 	wire := c.MigrateMsg + int64(bytes)*c.PageTransfer/4096
+	if c.BatchPages > 1 {
+		pages := (bytes + 4095) / 4096
+		if batches := (pages + c.BatchPages - 1) / c.BatchPages; batches > 1 {
+			wire += int64(batches-1) * c.BatchMsgCost()
+		}
+	}
 	if c.TCPLike {
 		wire += c.TCPExtra
 	}

@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/kernel"
 	"repro/internal/vm"
@@ -47,7 +48,22 @@ type RT struct {
 	base vm.Addr
 	size uint64
 	next vm.Addr // allocator cursor (application-chosen names, §2.4)
+
+	// placed records, for every live thread id, the cluster node it was
+	// forked on (nodeHome for plain Fork). Join, waitThreads and the
+	// collectors resolve thread references through it, so a thread forked
+	// with ForkOn can be joined with plain Join and grouped with its
+	// node-mates by the barrier machinery.
+	placed map[int]int
+
+	// tree, when non-nil, switches collection to the sharded barrier
+	// tree: per-node delegate collectors pre-merge their local children
+	// and the master merges only one delta per node (see tree.go).
+	tree *treeState
 }
+
+// nodeHome is the placement value meaning "the caller's home node".
+const nodeHome = -1
 
 // Thread is the handle passed to thread functions. It embeds an RT for
 // the thread's own space, so a thread can fork and join sub-threads.
@@ -118,40 +134,126 @@ func (rt *RT) ref(node, id int) uint64 {
 	return kernel.ChildOn(node, uint64(id+1))
 }
 
+// BadNodeError reports a Fork/Join naming a cluster node that does not
+// exist. Before this was validated here, a negative node silently
+// aliased the caller's home node through the child-reference encoding
+// (ChildOn's node field is node+1, and field 0 means "home"), so a
+// buggy placement computation corrupted the home node's thread
+// namespace instead of failing.
+type BadNodeError struct {
+	Node  int // the node requested
+	Nodes int // the cluster size
+}
+
+func (e *BadNodeError) Error() string {
+	return fmt.Sprintf("core: node %d out of range (cluster has %d node(s))", e.Node, e.Nodes)
+}
+
+// ErrBadThreadID reports a thread id outside the per-node child index
+// range; larger ids would wrap in the reference encoding and alias
+// another thread.
+var ErrBadThreadID = errors.New("core: thread id out of range")
+
+// checkPlacement validates a (node, id) pair before it is encoded into a
+// child reference. node may be nodeHome.
+func (rt *RT) checkPlacement(node, id int) error {
+	if id < 0 || id+1 >= kernel.MaxChildIndex {
+		return ErrBadThreadID
+	}
+	if node != nodeHome && (node < 0 || node >= rt.env.Nodes()) {
+		return &BadNodeError{Node: node, Nodes: rt.env.Nodes()}
+	}
+	return nil
+}
+
+// nodeOf resolves a thread id to the node it was forked on (nodeHome if
+// it was never recorded).
+func (rt *RT) nodeOf(id int) int {
+	if n, ok := rt.placed[id]; ok {
+		return n
+	}
+	return nodeHome
+}
+
+// placedRef returns the child reference for a thread, wherever it lives.
+func (rt *RT) placedRef(id int) uint64 { return rt.ref(rt.nodeOf(id), id) }
+
+// record stores a thread's placement after a successful fork.
+func (rt *RT) record(node, id int) {
+	if rt.placed == nil {
+		rt.placed = make(map[int]int)
+	}
+	rt.placed[id] = node
+}
+
 // Fork starts thread id running fn with a private copy of the shared
 // region, snapshotted as the merge reference (Put with Copy, Snap, Regs
 // and Start, per §4.4).
 func (rt *RT) Fork(id int, fn ThreadFunc) error {
-	return rt.forkOn(-1, id, fn)
+	return rt.forkOn(nodeHome, id, fn)
 }
 
 // ForkOn is Fork onto a specific cluster node: the kernel migrates the
 // caller there and creates the thread with that node as its home (§3.3).
+// Out-of-range nodes — including negative ones, which the reference
+// encoding would silently alias to the home node — return a
+// *BadNodeError.
 func (rt *RT) ForkOn(node, id int, fn ThreadFunc) error {
+	if node < 0 {
+		return &BadNodeError{Node: node, Nodes: rt.env.Nodes()}
+	}
 	return rt.forkOn(node, id, fn)
 }
 
 func (rt *RT) forkOn(node, id int, fn ThreadFunc) error {
-	base, size := rt.base, rt.size
+	if err := rt.checkPlacement(node, id); err != nil {
+		return err
+	}
+	if rt.tree != nil {
+		if err := rt.treeFork(node, []forkReq{{id: id, fn: fn}}); err != nil {
+			return err
+		}
+		rt.record(node, id)
+		return nil
+	}
+	if err := rt.env.Put(rt.ref(node, id), forkOpts(rt.base, rt.size, id, fn)); err != nil {
+		return err
+	}
+	rt.record(node, id)
+	return nil
+}
+
+// forkOpts builds the Put that creates one thread: registers, a COW copy
+// of the shared region, the merge snapshot, and Start.
+func forkOpts(base vm.Addr, size uint64, id int, fn ThreadFunc) kernel.PutOpts {
 	entry := func(env *kernel.Env) {
 		t := &Thread{RT: child(env, base, size), ID: id}
 		env.SetRet(fn(t))
 	}
-	return rt.env.Put(rt.ref(node, id), kernel.PutOpts{
+	return kernel.PutOpts{
 		Regs:  &kernel.Regs{Entry: entry, Arg: uint64(id)},
-		Copy:  &kernel.CopyRange{Src: rt.base, Dst: rt.base, Size: rt.size},
+		Copy:  &kernel.CopyRange{Src: base, Dst: base, Size: size},
 		Snap:  true,
 		Start: true,
-	})
+	}
 }
 
 // ConflictError wraps a merge conflict detected while joining a thread.
+// When the sharded barrier tree detects a cross-node conflict while the
+// master merges a whole node's pre-merged delta, the conflict can no
+// longer be pinned on one thread: ThreadID is -1 and Node names the
+// node whose delta clashed. The conflicting byte addresses and totals
+// (Cause) are identical to the flat collector's either way.
 type ConflictError struct {
 	ThreadID int
+	Node     int // conflicting node for node-level attribution; else -1
 	Cause    *vm.MergeConflictError
 }
 
 func (e *ConflictError) Error() string {
+	if e.ThreadID < 0 {
+		return fmt.Sprintf("core: merging node %d's delta: %v", e.Node, e.Cause)
+	}
 	return fmt.Sprintf("core: joining thread %d: %v", e.ThreadID, e.Cause)
 }
 
@@ -171,19 +273,31 @@ func (e *ThreadCrashError) Error() string {
 func (e *ThreadCrashError) Unwrap() error { return e.Cause }
 
 // Join waits for thread id, merges its shared-region changes into the
-// caller's replica, and returns the thread's result value. Write/write
-// conflicts surface as *ConflictError — deterministically, independent of
-// how execution was scheduled.
+// caller's replica, and returns the thread's result value. The thread is
+// found wherever it was forked — placement is recorded by Fork/ForkOn.
+// Write/write conflicts surface as *ConflictError — deterministically,
+// independent of how execution was scheduled.
 func (rt *RT) Join(id int) (uint64, error) {
-	return rt.joinOn(-1, id)
+	return rt.joinOn(rt.nodeOf(id), id)
 }
 
-// JoinOn joins a thread forked with ForkOn.
+// JoinOn joins a thread forked with ForkOn. Out-of-range nodes return a
+// *BadNodeError.
 func (rt *RT) JoinOn(node, id int) (uint64, error) {
+	if node < 0 {
+		return 0, &BadNodeError{Node: node, Nodes: rt.env.Nodes()}
+	}
 	return rt.joinOn(node, id)
 }
 
 func (rt *RT) joinOn(node, id int) (uint64, error) {
+	if err := rt.checkPlacement(node, id); err != nil {
+		return 0, err
+	}
+	if rt.tree != nil {
+		res, err := rt.treeJoin(map[int][]int{rt.concreteNode(node): {id}})
+		return res[id], err
+	}
 	info, err := rt.env.Get(rt.ref(node, id), kernel.GetOpts{
 		Regs:       true,
 		Merge:      true,
@@ -192,16 +306,52 @@ func (rt *RT) joinOn(node, id int) (uint64, error) {
 	if err != nil {
 		var mc *vm.MergeConflictError
 		if errors.As(err, &mc) {
-			return 0, &ConflictError{ThreadID: id, Cause: mc}
+			return 0, &ConflictError{ThreadID: id, Node: -1, Cause: mc}
 		}
 		return 0, err
 	}
+	return threadResult(id, info)
+}
+
+// threadResult converts a collected thread's ChildInfo into the Join
+// result contract.
+func threadResult(id int, info kernel.ChildInfo) (uint64, error) {
 	switch info.Status {
 	case kernel.StatusHalted, kernel.StatusRet:
 		return info.Regs.Ret, nil
 	default:
 		return 0, &ThreadCrashError{ThreadID: id, Status: info.Status, Cause: info.Err}
 	}
+}
+
+// concreteNode maps nodeHome to the caller's actual home node id so
+// threads forked either way group together.
+func (rt *RT) concreteNode(node int) int {
+	if node == nodeHome {
+		return rt.env.HomeNodeID()
+	}
+	return node
+}
+
+// groupByNode buckets thread ids by the concrete node they were forked
+// on and returns the ascending node order plus each node's ids in
+// ascending thread order — the fixed node-then-thread collection order
+// every collector (flat or tree) commits merges in.
+func (rt *RT) groupByNode(ids []int) ([]int, map[int][]int) {
+	groups := make(map[int][]int)
+	var nodes []int
+	for _, id := range ids {
+		n := rt.concreteNode(rt.nodeOf(id))
+		if _, ok := groups[n]; !ok {
+			nodes = append(nodes, n)
+		}
+		groups[n] = append(groups[n], id)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		sort.Ints(groups[n])
+	}
+	return nodes, groups
 }
 
 // ParallelDo forks threads 0..n-1 running fn and joins them all,
@@ -211,27 +361,86 @@ func (rt *RT) joinOn(node, id int) (uint64, error) {
 // Collection is concurrent: a bounded worker pool (WaitChildren) overlaps
 // the waits for all ready children instead of blocking on thread 0 while
 // later threads sit finished. The merges themselves are then applied
-// strictly in thread-id order — merging into a single parent replica is
-// order-sensitive at the byte level, so id order is what keeps results,
-// errors and conflicts schedule-independent — with each merge internally
-// parallelized by the kernel (Config.MergeWorkers).
+// strictly in node-then-thread order — merging into a single parent
+// replica is order-sensitive at the byte level, so a fixed order is what
+// keeps results, errors and conflicts schedule-independent — with each
+// merge internally parallelized by the kernel (Config.MergeWorkers).
+// On one node that order is plain thread-id order.
 func (rt *RT) ParallelDo(n int, fn ThreadFunc) ([]uint64, error) {
-	for i := 0; i < n; i++ {
-		if err := rt.Fork(i, fn); err != nil {
-			return nil, err
-		}
+	return rt.ParallelDoOn(n, nil, fn)
+}
+
+// ParallelDoOn is ParallelDo with explicit thread placement: thread i is
+// forked on node place(i) (nodeHome for nil place, as ParallelDo). In
+// tree-join mode each node's delegate forks, collects and pre-merges its
+// local threads, and this collector merges one delta per node.
+func (rt *RT) ParallelDoOn(n int, place func(i int) int, fn ThreadFunc) ([]uint64, error) {
+	if err := rt.forkAll(n, place, fn); err != nil {
+		return nil, err
 	}
-	rt.waitThreads(ids(n))
+	all := ids(n)
 	res := make([]uint64, n)
 	var firstErr error
-	for i := 0; i < n; i++ {
-		v, err := rt.Join(i)
-		if err != nil && firstErr == nil {
-			firstErr = err
+	if rt.tree != nil {
+		_, groups := rt.groupByNode(all)
+		byID, err := rt.treeJoin(groups)
+		for i := 0; i < n; i++ {
+			res[i] = byID[i]
 		}
-		res[i] = v
+		return res, err
+	}
+	rt.waitThreads(all)
+	nodes, groups := rt.groupByNode(all)
+	for _, nd := range nodes {
+		for _, id := range groups[nd] {
+			v, err := rt.Join(id)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			res[id] = v
+		}
 	}
 	return res, firstErr
+}
+
+// forkAll forks threads 0..n-1 with the given placement, batching the
+// forks per node through the delegates in tree mode.
+func (rt *RT) forkAll(n int, place func(i int) int, fn ThreadFunc) error {
+	node := func(i int) int {
+		if place == nil {
+			return nodeHome
+		}
+		return place(i)
+	}
+	if rt.tree == nil {
+		for i := 0; i < n; i++ {
+			if err := rt.forkOn(node(i), i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Tree mode: validate and record every placement, then dispatch one
+	// fork command per node — grouped and ordered by the same
+	// groupByNode the collectors use, so fork order and commit order can
+	// never drift apart.
+	for i := 0; i < n; i++ {
+		if err := rt.checkPlacement(node(i), i); err != nil {
+			return err
+		}
+		rt.record(rt.concreteNode(node(i)), i)
+	}
+	nodes, groups := rt.groupByNode(ids(n))
+	for _, nd := range nodes {
+		reqs := make([]forkReq, len(groups[nd]))
+		for k, id := range groups[nd] {
+			reqs[k] = forkReq{id: id, fn: fn}
+		}
+		if err := rt.treeFork(nd, reqs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ids returns [0, n).
@@ -245,11 +454,12 @@ func ids(n int) []int {
 
 // waitThreads overlaps the physical waiting for the listed threads on the
 // kernel's bounded pool; see Env.WaitChildren for why this cannot change
-// any observable result.
+// any observable result. Threads are waited for wherever they were
+// forked.
 func (rt *RT) waitThreads(threadIDs []int) {
 	refs := make([]uint64, len(threadIDs))
 	for i, id := range threadIDs {
-		refs[i] = rt.ref(-1, id)
+		refs[i] = rt.placedRef(id)
 	}
 	rt.env.WaitChildren(refs, 0)
 }
@@ -268,43 +478,54 @@ func (t *Thread) Barrier() {
 // barrier stays halted; its final merge still occurs.
 //
 // Like ParallelDo, the round first gathers all ready threads concurrently
-// (bounded pool), then applies their merges in thread-id order so every
-// round's combined state — and any conflict it raises — is independent of
-// which thread happened to arrive first.
+// (bounded pool), then applies their merges in node-then-thread order so
+// every round's combined state — and any conflict it raises — is
+// independent of which thread happened to arrive first. In tree-join
+// mode the per-node pre-merges happen in the delegates, concurrently in
+// virtual time, and this collector commits one delta per node in the
+// same overall order.
 func (rt *RT) BarrierRound(ids []int) error {
+	if rt.tree != nil {
+		return rt.treeBarrierRound(ids)
+	}
 	rt.waitThreads(ids)
-	for _, id := range ids {
-		info, err := rt.env.Get(rt.ref(-1, id), kernel.GetOpts{
-			Merge:      true,
-			MergeRange: &kernel.Range{Addr: rt.base, Size: rt.size},
-		})
-		if err != nil {
-			var mc *vm.MergeConflictError
-			if errors.As(err, &mc) {
-				return &ConflictError{ThreadID: id, Cause: mc}
+	nodes, groups := rt.groupByNode(ids)
+	for _, nd := range nodes {
+		for _, id := range groups[nd] {
+			info, err := rt.env.Get(rt.placedRef(id), kernel.GetOpts{
+				Merge:      true,
+				MergeRange: &kernel.Range{Addr: rt.base, Size: rt.size},
+			})
+			if err != nil {
+				var mc *vm.MergeConflictError
+				if errors.As(err, &mc) {
+					return &ConflictError{ThreadID: id, Node: -1, Cause: mc}
+				}
+				return err
 			}
-			return err
-		}
-		if info.Status == kernel.StatusFault || info.Status == kernel.StatusExcept {
-			return &ThreadCrashError{ThreadID: id, Status: info.Status, Cause: info.Err}
+			if info.Status == kernel.StatusFault || info.Status == kernel.StatusExcept {
+				return &ThreadCrashError{ThreadID: id, Status: info.Status, Cause: info.Err}
+			}
 		}
 	}
-	for _, id := range ids {
-		ref := rt.ref(-1, id)
-		if err := rt.env.Put(ref, kernel.PutOpts{
-			Copy: &kernel.CopyRange{Src: rt.base, Dst: rt.base, Size: rt.size},
-			Snap: true,
-		}); err != nil {
-			return err
-		}
-		// Only resume threads parked at a barrier; halted ones are done.
-		info, err := rt.env.Get(ref, kernel.GetOpts{})
-		if err != nil {
-			return err
-		}
-		if info.Status == kernel.StatusRet {
-			if err := rt.env.Put(ref, kernel.PutOpts{Start: true}); err != nil {
+	for _, nd := range nodes {
+		for _, id := range groups[nd] {
+			ref := rt.placedRef(id)
+			if err := rt.env.Put(ref, kernel.PutOpts{
+				Copy: &kernel.CopyRange{Src: rt.base, Dst: rt.base, Size: rt.size},
+				Snap: true,
+			}); err != nil {
 				return err
+			}
+			// Only resume threads parked at a barrier; halted ones are done.
+			info, err := rt.env.Get(ref, kernel.GetOpts{})
+			if err != nil {
+				return err
+			}
+			if info.Status == kernel.StatusRet {
+				if err := rt.env.Put(ref, kernel.PutOpts{Start: true}); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -316,31 +537,42 @@ func (rt *RT) BarrierRound(ids []int) error {
 // fft/lu benchmarks. fn must call no barrier itself; the runtime inserts
 // one after every phase except the last.
 func (rt *RT) RunPhases(n, phases int, fn func(t *Thread, phase int)) error {
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
-	}
-	for i := 0; i < n; i++ {
-		if err := rt.Fork(i, func(t *Thread) uint64 {
-			for p := 0; p < phases; p++ {
-				fn(t, p)
-				if p < phases-1 {
-					t.Barrier()
-				}
+	return rt.RunPhasesOn(n, phases, nil, fn)
+}
+
+// RunPhasesOn is RunPhases with explicit thread placement, the
+// cluster-scale form: thread i runs on node place(i) for every phase,
+// and each barrier round collects through the configured collector
+// (flat or sharded tree).
+func (rt *RT) RunPhasesOn(n, phases int, place func(i int) int, fn func(t *Thread, phase int)) error {
+	if err := rt.forkAll(n, place, func(t *Thread) uint64 {
+		for p := 0; p < phases; p++ {
+			fn(t, p)
+			if p < phases-1 {
+				t.Barrier()
 			}
-			return 0
-		}); err != nil {
-			return err
 		}
+		return 0
+	}); err != nil {
+		return err
 	}
+	all := ids(n)
 	for p := 0; p < phases-1; p++ {
-		if err := rt.BarrierRound(ids); err != nil {
+		if err := rt.BarrierRound(all); err != nil {
 			return err
 		}
 	}
-	for _, id := range ids {
-		if _, err := rt.Join(id); err != nil {
-			return err
+	if rt.tree != nil {
+		_, groups := rt.groupByNode(all)
+		_, err := rt.treeJoin(groups)
+		return err
+	}
+	nodes, groups := rt.groupByNode(all)
+	for _, nd := range nodes {
+		for _, id := range groups[nd] {
+			if _, err := rt.Join(id); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -350,6 +582,9 @@ func (rt *RT) RunPhases(n, phases int, fn func(t *Thread, phase int)) error {
 type Options struct {
 	Kernel     kernel.Config
 	SharedSize uint64
+	// TreeJoin starts the root runtime with the sharded barrier tree
+	// enabled (see RT.SetTreeJoin).
+	TreeJoin bool
 }
 
 // Run builds a machine, runs main as its root program with a fresh
@@ -359,6 +594,7 @@ func Run(opts Options, main func(rt *RT) uint64) kernel.RunResult {
 	m := kernel.New(opts.Kernel)
 	return m.Run(func(env *kernel.Env) {
 		rt := New(env, opts.SharedSize)
+		rt.SetTreeJoin(opts.TreeJoin)
 		env.SetRet(main(rt))
 	}, 0)
 }

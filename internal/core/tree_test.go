@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// Tests for the sharded barrier tree: the delegate-based collector must
+// produce bit-identical results, conflict bytes and errors to the flat
+// collector at every node count and merge parallelism, while cutting the
+// root's cross-node message count from O(threads) to O(nodes).
+
+// clusterOutcome captures everything a collection mode promises to keep
+// (or deliberately not keep) invariant.
+type clusterOutcome struct {
+	ret  uint64
+	vt   int64
+	msgs int64
+	ok   bool
+}
+
+// runPlaced executes a data-parallel workload — disjoint page stripes
+// plus disjoint words on one shared page, with cross-thread dataflow
+// through barrier rounds — on an n-node machine with threads placed
+// round-robin, and returns the workload checksum.
+func runPlaced(t *testing.T, nodes, threads, phases, mergeWorkers int, tree bool) clusterOutcome {
+	t.Helper()
+	res := Run(Options{
+		Kernel: kernel.Config{
+			Nodes:        nodes,
+			CPUsPerNode:  1,
+			MergeWorkers: mergeWorkers,
+		},
+		SharedSize: 4 << 20,
+		TreeJoin:   tree,
+	}, func(rt *RT) uint64 {
+		stripes := rt.AllocPages(threads)
+		words := rt.Alloc(uint64(8*threads), 8)
+		// Blocked placement: each node owns a contiguous band of thread
+		// stripes, the layout real data-parallel decompositions use (and
+		// the one batched runs reward).
+		place := func(i int) int { return i * nodes / threads }
+		if err := rt.RunPhasesOn(threads, phases, place, func(th *Thread, phase int) {
+			env := th.Env()
+			// Read the previous phase's combined shared words (dataflow
+			// through the barrier merge), then write this thread's page
+			// stripe and word.
+			var carry uint64
+			if phase > 0 {
+				for i := 0; i < threads; i++ {
+					carry += env.ReadU64(words + vm.Addr(8*i))
+				}
+			}
+			base := stripes + vm.Addr(th.ID)*vm.PageSize
+			for off := 0; off < vm.PageSize; off += 8 {
+				env.WriteU64(base+vm.Addr(off), carry+uint64(th.ID*100003+phase*17+off))
+			}
+			env.WriteU64(words+vm.Addr(8*th.ID), carry*31+uint64(th.ID+1)*uint64(phase+1))
+		}); err != nil {
+			panic(err)
+		}
+		env := rt.Env()
+		var sig uint64
+		for i := 0; i < threads; i++ {
+			base := stripes + vm.Addr(i)*vm.PageSize
+			for off := 0; off < vm.PageSize; off += 8 {
+				sig = sig*1099511628211 + env.ReadU64(base+vm.Addr(off))
+			}
+			sig = sig*31 + env.ReadU64(words+vm.Addr(8*i))
+		}
+		// Fold in the root's message count so callers can read it out;
+		// it is reported separately to keep the checksum comparable.
+		return sig
+	})
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("nodes=%d tree=%v: %v %v", nodes, tree, res.Status, res.Err)
+	}
+	return clusterOutcome{ret: res.Ret, vt: res.VT, msgs: res.Net.Msgs, ok: true}
+}
+
+func TestTreeCollectorMatchesFlat(t *testing.T) {
+	const threads, phases = 8, 3
+	for _, nodes := range []int{1, 2, 4} {
+		flat := runPlaced(t, nodes, threads, phases, 1, false)
+		for _, mw := range []int{1, 0} {
+			f := runPlaced(t, nodes, threads, phases, mw, false)
+			tr := runPlaced(t, nodes, threads, phases, mw, true)
+			if f.ret != flat.ret || f.vt != flat.vt {
+				t.Errorf("nodes=%d mw=%d: flat outcome (%#x, %d) varies with MergeWorkers (%#x, %d)",
+					nodes, mw, f.ret, f.vt, flat.ret, flat.vt)
+			}
+			if tr.ret != flat.ret {
+				t.Errorf("nodes=%d mw=%d: tree checksum %#x != flat %#x",
+					nodes, mw, tr.ret, flat.ret)
+			}
+		}
+		// Both modes must repeat exactly, including virtual time.
+		if again := runPlaced(t, nodes, threads, phases, 0, true); again.vt != runPlaced(t, nodes, threads, phases, 1, true).vt {
+			t.Errorf("nodes=%d: tree VT differs across MergeWorkers/reruns", nodes)
+		}
+	}
+}
+
+func TestTreeCollectorCutsRootMessages(t *testing.T) {
+	// With 16 threads blocked across 4 nodes over several barrier
+	// rounds, the flat collector's cross-node message count scales with
+	// threads (it migrates to and merges every remote thread itself,
+	// shipping each thread's delta separately); the tree's scales with
+	// nodes — each delegate's pre-merged, node-contiguous delta ships as
+	// a couple of batched runs.
+	const nodes, threads, phases = 4, 16, 4
+	flat := runPlaced(t, nodes, threads, phases, 1, false)
+	tree := runPlaced(t, nodes, threads, phases, 1, true)
+	if tree.ret != flat.ret {
+		t.Fatalf("checksums diverged: tree %#x, flat %#x", tree.ret, flat.ret)
+	}
+	if tree.msgs >= flat.msgs {
+		t.Errorf("tree root messages %d not below flat %d", tree.msgs, flat.msgs)
+	}
+	// The root should talk to each node a bounded number of times per
+	// round, independent of the threads behind it.
+	perRound := float64(tree.msgs) / float64(phases)
+	if perRound > float64(8*nodes) {
+		t.Errorf("tree root sends %.1f msgs/round for %d nodes: not O(nodes)", perRound, nodes)
+	}
+	if tree.vt >= flat.vt {
+		t.Errorf("tree VT %d not below flat VT %d", tree.vt, flat.vt)
+	}
+}
+
+func TestTreeConflictBytesMatchFlat(t *testing.T) {
+	// A cross-node write/write conflict: thread 2 (node 0) and thread 1
+	// (node 1) write the same word. In node-then-thread order thread 2
+	// commits first, so the flat collector attributes the conflict to
+	// thread 1 and the tree to node 1. The conflicting byte addresses
+	// and totals must be identical.
+	conflictFrom := func(tree bool) *ConflictError {
+		var out *ConflictError
+		res := Run(Options{
+			Kernel:     kernel.Config{Nodes: 2, CPUsPerNode: 1},
+			SharedSize: 4 << 20,
+			TreeJoin:   tree,
+		}, func(rt *RT) uint64 {
+			slot := rt.Alloc(8, 8)
+			_, err := rt.ParallelDoOn(4, func(i int) int { return i % 2 }, func(th *Thread) uint64 {
+				if th.ID == 1 || th.ID == 2 {
+					th.Env().WriteU32(slot, uint32(100+th.ID))
+				}
+				return 0
+			})
+			if err == nil {
+				panic("conflict not detected")
+			}
+			ce, ok := err.(*ConflictError)
+			if !ok {
+				panic(err)
+			}
+			out = ce
+			return 1
+		})
+		if res.Status != kernel.StatusHalted || res.Ret != 1 {
+			t.Fatalf("tree=%v: %v %v", tree, res.Status, res.Err)
+		}
+		return out
+	}
+	flat := conflictFrom(false)
+	tree := conflictFrom(true)
+	if flat.ThreadID != 1 {
+		t.Errorf("flat conflict attributed to thread %d, want 1", flat.ThreadID)
+	}
+	if tree.ThreadID != -1 || tree.Node != 1 {
+		t.Errorf("tree conflict attribution (thread %d, node %d), want (-1, 1)",
+			tree.ThreadID, tree.Node)
+	}
+	if flat.Cause.Total != tree.Cause.Total {
+		t.Errorf("conflict totals differ: flat %d, tree %d", flat.Cause.Total, tree.Cause.Total)
+	}
+	if len(flat.Cause.Addrs) != len(tree.Cause.Addrs) {
+		t.Fatalf("conflict addr lists differ in length: %v vs %v", flat.Cause.Addrs, tree.Cause.Addrs)
+	}
+	for i := range flat.Cause.Addrs {
+		if flat.Cause.Addrs[i] != tree.Cause.Addrs[i] {
+			t.Errorf("conflict addr %d differs: %#x vs %#x", i, flat.Cause.Addrs[i], tree.Cause.Addrs[i])
+		}
+	}
+}
+
+func TestTreeIntraNodeConflictKeepsThreadAttribution(t *testing.T) {
+	// Both conflicting threads live on node 1: the delegate detects the
+	// conflict during its local thread-order merges, so the report names
+	// the exact thread, as the flat collector would.
+	res := Run(Options{
+		Kernel:     kernel.Config{Nodes: 2, CPUsPerNode: 1},
+		SharedSize: 4 << 20,
+		TreeJoin:   true,
+	}, func(rt *RT) uint64 {
+		slot := rt.Alloc(8, 8)
+		_, err := rt.ParallelDoOn(4, func(i int) int { return i % 2 }, func(th *Thread) uint64 {
+			if th.ID == 1 || th.ID == 3 {
+				th.Env().WriteU32(slot, uint32(200+th.ID))
+			}
+			return 0
+		})
+		var ce *ConflictError
+		if !errors.As(err, &ce) {
+			panic(err)
+		}
+		if ce.ThreadID != 3 {
+			panic("intra-node conflict not attributed to thread 3")
+		}
+		return 1
+	})
+	if res.Status != kernel.StatusHalted || res.Ret != 1 {
+		t.Fatalf("%v %v", res.Status, res.Err)
+	}
+}
+
+func TestTreeEarlyExitThreadMatchesFlat(t *testing.T) {
+	// A thread that halts before ever reaching the barrier: its delta
+	// must be merged exactly once. The flat collector's resync pass
+	// refreshes every listed thread's snapshot; the delegate must
+	// neutralize halted threads the same way, or the next collect
+	// re-merges the stale delta (a false conflict when another thread
+	// later writes the same bytes).
+	run := func(tree bool) (uint64, error) {
+		var out error
+		res := Run(Options{
+			Kernel:     kernel.Config{Nodes: 2, CPUsPerNode: 1},
+			SharedSize: 4 << 20,
+			TreeJoin:   tree,
+		}, func(rt *RT) uint64 {
+			slot := rt.Alloc(8, 8)
+			other := rt.Alloc(8*4, 8)
+			for i := 0; i < 4; i++ {
+				i := i
+				if err := rt.forkOn(i%2, i, func(th *Thread) uint64 {
+					if th.ID == 1 {
+						th.Env().WriteU64(slot, 1)
+						return 1 // exits before the barrier
+					}
+					th.Env().WriteU64(other+vm.Addr(8*th.ID), uint64(th.ID)+1)
+					th.Barrier()
+					if th.ID == 0 {
+						th.Env().WriteU64(slot, 2) // rewrites thread 1's byte post-barrier
+					}
+					return uint64(th.ID)
+				}); err != nil {
+					panic(err)
+				}
+			}
+			if err := rt.BarrierRound([]int{0, 1, 2, 3}); err != nil {
+				panic(err)
+			}
+			for i := 0; i < 4; i++ {
+				if _, err := rt.Join(i); err != nil {
+					out = err
+					return 0
+				}
+			}
+			return rt.Env().ReadU64(slot)
+		})
+		if res.Status != kernel.StatusHalted {
+			t.Fatalf("tree=%v: %v %v", tree, res.Status, res.Err)
+		}
+		return res.Ret, out
+	}
+	flatVal, flatErr := run(false)
+	treeVal, treeErr := run(true)
+	if flatErr != nil {
+		t.Fatalf("flat collector errored: %v", flatErr)
+	}
+	if treeErr != nil {
+		t.Fatalf("tree collector errored where flat did not: %v", treeErr)
+	}
+	if flatVal != 2 || treeVal != flatVal {
+		t.Errorf("final slot value: flat %d, tree %d, want 2 in both", flatVal, treeVal)
+	}
+}
+
+func TestTreeThreadCrashPropagates(t *testing.T) {
+	res := Run(Options{
+		Kernel:     kernel.Config{Nodes: 2, CPUsPerNode: 1},
+		SharedSize: 4 << 20,
+		TreeJoin:   true,
+	}, func(rt *RT) uint64 {
+		_, err := rt.ParallelDoOn(4, func(i int) int { return i % 2 }, func(th *Thread) uint64 {
+			if th.ID == 2 {
+				panic("thread 2 dies")
+			}
+			return uint64(th.ID)
+		})
+		var tc *ThreadCrashError
+		if !errors.As(err, &tc) || tc.ThreadID != 2 {
+			panic(err)
+		}
+		return 1
+	})
+	if res.Status != kernel.StatusHalted || res.Ret != 1 {
+		t.Fatalf("%v %v", res.Status, res.Err)
+	}
+}

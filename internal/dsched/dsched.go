@@ -95,12 +95,21 @@ type Config struct {
 	// and virtual times are identical at every setting. <= 0 selects
 	// GOMAXPROCS.
 	CollectWorkers int
-	// AdaptiveQuantum scales the quantum up (by adaptiveBoost) for rounds
-	// in which a single thread is runnable: with no peer to interleave
-	// with, longer quanta only reduce scheduling overhead. The policy
-	// depends solely on deterministic scheduler state, so execution
+	// AdaptiveQuantum enables the telemetry-driven quantum policy: the
+	// scheduler scales the next round's quantum from the committed
+	// RoundStats of the rounds before it. A round with a single runnable
+	// thread doubles the scale (no peer to interleave with, so longer
+	// quanta only cut scheduling overhead — the old fixed 8x boost,
+	// generalized); a contended round that committed no shared-memory
+	// changes grows it one step (read-mostly phases tolerate coarse
+	// interleaving); a round that committed merge work collapses it back
+	// toward the configured quantum (writes propagate only at quantum
+	// boundaries, so commit-heavy phases need fine ones). The policy
+	// reads only committed, deterministic round telemetry, so execution
 	// remains repeatable — but round counts, virtual times and lock
-	// hand-off order may differ from the fixed-quantum schedule.
+	// hand-off order may differ from the fixed-quantum schedule. Result
+	// bits of race-free (mutex-protected) programs do not: only the
+	// schedule moves, never the synchronization order's outcome.
 	AdaptiveQuantum bool
 	// DisableEpochSkip turns off epoch-skipped resynchronization: every
 	// runnable thread is re-copied and re-snapshotted each round even
@@ -121,13 +130,14 @@ type Config struct {
 // DefaultQuantum matches the paper's choice.
 const DefaultQuantum = 10_000_000
 
-// adaptiveBoost is the quantum multiplier applied by AdaptiveQuantum
-// when only one thread is runnable.
-const adaptiveBoost = 8
+// adaptiveMaxScale caps the adaptive policy's quantum multiplier (the
+// old one-runnable boost's value, now the ceiling the policy climbs to).
+const adaptiveMaxScale = 8
 
 // RoundStats describes one scheduling round.
 type RoundStats struct {
 	Round   int64 // 1-based round number
+	Quantum int64 // instruction limit each runnable thread received
 	Ran     int   // threads that ran a quantum this round
 	Blocked int   // threads that sat blocked on a sync object
 	// SyncSkipped counts threads resumed with a bare Put{Start,Limit}:
@@ -185,6 +195,9 @@ type Sched struct {
 	env     *kernel.Env
 	cfg     Config
 	quantum int64
+	// scale is the adaptive policy's current quantum multiplier, a pure
+	// function of the committed round history (see Config.AdaptiveQuantum).
+	scale int64
 
 	threads  []*threadState
 	mutexes  []*mutexState
@@ -222,7 +235,7 @@ func New(rt *core.RT, cfg Config) *Sched {
 	if cfg.FullResync {
 		cfg.DisableEpochSkip = true
 	}
-	return &Sched{rt: rt, env: rt.Env(), cfg: cfg, quantum: q, commitEpoch: 1}
+	return &Sched{rt: rt, env: rt.Env(), cfg: cfg, quantum: q, scale: 1, commitEpoch: 1}
 }
 
 // NewMutex creates a mutex, initially unlocked and owned by thread 0.
@@ -268,7 +281,7 @@ func (s *Sched) Run(n int, body func(t *Thread)) error {
 	s.threads = make([]*threadState, n)
 	// Round zero: fork every thread with the quantum limit armed, then
 	// collect, like any later round. The first resync is always full.
-	rs := RoundStats{Round: s.stats.Rounds + 1, Ran: n}
+	rs := RoundStats{Round: s.stats.Rounds + 1, Quantum: s.quantum, Ran: n}
 	started := make([]bool, n)
 	for i := 0; i < n; i++ {
 		i := i
@@ -351,9 +364,10 @@ func (s *Sched) round() error {
 		return ErrDeadlock
 	}
 	limit := s.quantum
-	if s.cfg.AdaptiveQuantum && runnable == 1 {
-		limit *= adaptiveBoost
+	if s.cfg.AdaptiveQuantum {
+		limit *= s.scale
 	}
+	rs.Quantum = limit
 	started := make([]bool, len(s.threads))
 	for _, t := range s.threads {
 		if t.done || t.blocked {
@@ -432,15 +446,45 @@ func (s *Sched) handoffs() {
 	}
 }
 
-// finishRound closes out one round's accounting.
+// finishRound closes out one round's accounting and advances the
+// adaptive-quantum policy from the round's committed telemetry.
 func (s *Sched) finishRound(rs RoundStats) {
 	rs.VT = s.env.VT()
 	s.stats.Rounds++
 	s.stats.ThreadQuanta += int64(rs.Ran)
 	s.stats.SyncSkipped += int64(rs.SyncSkipped)
 	s.stats.Merge.Add(rs.Merge)
+	if s.cfg.AdaptiveQuantum {
+		s.adapt(rs)
+	}
 	if s.cfg.OnRound != nil {
 		s.cfg.OnRound(rs)
+	}
+}
+
+// adapt recomputes the quantum scale for the next round. Inputs are the
+// committed RoundStats only — deterministic by construction — so the
+// schedule the policy produces is as repeatable as the fixed-quantum one.
+func (s *Sched) adapt(rs RoundStats) {
+	committed := rs.Merge.BytesMerged > 0 || rs.Merge.PagesAdopted > 0 ||
+		rs.Merge.TablesAdopted > 0
+	switch {
+	case rs.Ran == 1:
+		// Nothing to interleave with: race toward the ceiling.
+		s.scale *= 2
+	case !committed:
+		// Contended but read-mostly: grow gently.
+		s.scale++
+	default:
+		// Shared-memory commits this round: writes propagate only at
+		// quantum boundaries, so fall back toward fine interleaving.
+		s.scale /= 2
+	}
+	if s.scale > adaptiveMaxScale {
+		s.scale = adaptiveMaxScale
+	}
+	if s.scale < 1 {
+		s.scale = 1
 	}
 }
 

@@ -98,6 +98,7 @@ const (
 	sbCompacts  = 36 // Compact passes run
 	sbRegions   = 40 // entries in the region table
 	sbDropped   = 44 // free extents leaked to free-table overflow
+	sbGen       = 48 // namespace generation: bumped whenever the (dir, name) → inode map changes
 
 	// regionTable holds up to maxRegions {start,size} pairs describing
 	// the chained regions; region 0 is the one Format laid out.
@@ -152,14 +153,61 @@ var (
 )
 
 // FS is a handle on a file system image within the calling space's own
-// memory. It holds no state outside the image itself (except the
-// write-protection flag), so any number of handles may be attached to
-// the same image; image size and allocation state live in the
-// superblock, where replication picks them up for free.
+// memory. It holds no authoritative state outside the image itself
+// (except the write-protection flag), so any number of handles may be
+// attached to the same image; image size and allocation state live in
+// the superblock, where replication picks them up for free.
+//
+// The handle does keep one pure cache: a per-directory entry index
+// (dir, name) → inode, so lookups stop scanning the whole inode table
+// per path component. The image's namespace generation (sbGen, bumped
+// by every operation that changes the map, through any handle) guards
+// it: a handle whose cached generation is stale rebuilds the index from
+// the table before trusting it, which keeps multiple handles on one
+// image coherent. The generation is part of the operation history, so
+// replicas that performed the same operations still produce
+// bit-identical images.
 type FS struct {
 	env     *kernel.Env
 	base    vm.Addr
 	protect bool
+
+	noIndex bool           // SetIndex(false): always scan (benchmarks, ablation)
+	idx     map[dirent]int // cached (dir, name) → inode, nil until built
+	idxGen  uint32         // sbGen the cache was built/maintained at
+}
+
+// dirent keys the per-directory entry index.
+type dirent struct {
+	dir  int
+	name string
+}
+
+// SetIndex enables or disables this handle's per-directory entry index
+// (enabled by default). Disabling forces the original full-table scan
+// on every lookup; results are identical either way — the flag exists
+// for the lookup micro-benchmark and the equivalence tests.
+func (f *FS) SetIndex(on bool) {
+	f.noIndex = !on
+	f.idx = nil
+}
+
+// nsMutate records a change to the (dir, name) → inode map: the image
+// generation is bumped, invalidating every other handle's cache. This
+// handle's own cache, if it was current, has the change applied in
+// place (apply runs with f.idx non-nil) and stays valid — a handle
+// alternating mutations and lookups keeps O(1) lookups instead of
+// rebuilding per mutation. A cache already stale (some other handle
+// mutated in between) is dropped for rebuild.
+func (f *FS) nsMutate(apply func()) {
+	cur := f.gu32(sbGen)
+	f.pu32(sbGen, cur+1)
+	if f.idx != nil && f.idxGen == cur {
+		apply()
+		f.idxGen = cur + 1
+	} else {
+		f.idx = nil
+	}
 }
 
 // SetProtect enables the hardening §4.2 suggests: the image is kept
@@ -352,8 +400,10 @@ func (f *FS) inUse(ino int) bool {
 // included — so no later scan can observe a stale entry. The caller must
 // already have released the slot's extent.
 func (f *FS) freeSlot(ino int) {
+	key := dirent{dir: int(f.iGet(ino, iParent)), name: f.name(ino)}
 	var zero [inodeSize]byte
 	f.pbytes(inodeOff(ino), zero[:])
+	f.nsMutate(func() { delete(f.idx, key) })
 }
 
 func (f *FS) name(ino int) string {
@@ -365,10 +415,15 @@ func (f *FS) name(ino int) string {
 	return string(buf[:])
 }
 
+// setName names a freshly allocated slot. Callers set iParent first, so
+// the index entry recorded here carries the slot's final key. (Existing
+// entries are never renamed in place — Rename moves data to a new slot.)
 func (f *FS) setName(ino int, name string) {
 	var buf [MaxNameLen]byte
 	copy(buf[:], name)
 	f.pbytes(inodeOff(ino)+iName, buf[:])
+	dir := int(f.iGet(ino, iParent))
+	f.nsMutate(func() { f.idx[dirent{dir: dir, name: name}] = ino })
 }
 
 // pathOf reconstructs an entry's full path (no leading slash; "" is the
@@ -403,8 +458,26 @@ func splitPath(path string) ([]string, error) {
 
 // childIn finds the in-use slot for name directly under directory dir
 // that satisfies want (a flag mask ANDed against the slot's flags), or
-// -1. There is at most one in-use slot per (dir, name).
+// -1. There is at most one in-use slot per (dir, name), so the indexed
+// and scanning paths agree: the index maps (dir, name) to the one
+// in-use slot and the want mask is checked live on the hit.
 func (f *FS) childIn(dir int, name string, want uint32) int {
+	if f.noIndex {
+		return f.childInScan(dir, name, want)
+	}
+	if gen := f.gu32(sbGen); f.idx == nil || f.idxGen != gen {
+		f.rebuildIndex(gen)
+	}
+	ino, ok := f.idx[dirent{dir: dir, name: name}]
+	if !ok || f.iGet(ino, iFlags)&want == 0 {
+		return -1
+	}
+	return ino
+}
+
+// childInScan is the original full-table lookup, the index's ground
+// truth.
+func (f *FS) childInScan(dir int, name string, want uint32) int {
 	for i := 1; i < NumInodes; i++ {
 		if !f.inUse(i) || f.iGet(i, iFlags)&want == 0 {
 			continue
@@ -414,6 +487,18 @@ func (f *FS) childIn(dir int, name string, want uint32) int {
 		}
 	}
 	return -1
+}
+
+// rebuildIndex scans the inode table once and records every in-use
+// entry under its (parent, name) key.
+func (f *FS) rebuildIndex(gen uint32) {
+	f.idx = make(map[dirent]int, NumInodes)
+	for i := 1; i < NumInodes; i++ {
+		if f.inUse(i) {
+			f.idx[dirent{dir: int(f.iGet(i, iParent)), name: f.name(i)}] = i
+		}
+	}
+	f.idxGen = gen
 }
 
 // walkDirs resolves a chain of components as live directories, returning
@@ -761,8 +846,8 @@ func (f *FS) createIn(dir int, leaf string, extra uint32) error {
 	if ino < 0 {
 		return ErrNameTaken
 	}
+	f.iPut(ino, iParent, uint32(dir)) // parent before name: setName indexes under it
 	f.setName(ino, leaf)
-	f.iPut(ino, iParent, uint32(dir))
 	f.iPut(ino, iVersion, 1)
 	// ForkVersion 0 makes a freshly created entry count as "changed
 	// since fork", so it propagates to the parent at reconciliation.
@@ -865,8 +950,8 @@ func (f *FS) Rename(oldPath, newPath string) error {
 		if dst < 0 {
 			return ErrNameTaken
 		}
+		f.iPut(dst, iParent, uint32(dir)) // parent before name: setName indexes under it
 		f.setName(dst, leaf)
-		f.iPut(dst, iParent, uint32(dir))
 		f.iPut(dst, iVersion, 0)
 		f.iPut(dst, iForkVersion, 0)
 		f.iPut(dst, iForkSize, 0)

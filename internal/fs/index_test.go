@@ -1,0 +1,155 @@
+package fs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// The per-directory entry index: lookups must agree with the full-table
+// scan after any operation mix, across handles, and the namespace
+// generation must keep a second handle's cache coherent.
+
+func indexEnv(t testing.TB, fn func(env *kernel.Env)) {
+	res := kernel.New(kernel.Config{}).Run(func(env *kernel.Env) { fn(env) }, 0)
+	if res.Status != kernel.StatusHalted {
+		t.Fatalf("%v: %v", res.Status, res.Err)
+	}
+}
+
+func TestIndexMatchesScanUnderRandomOps(t *testing.T) {
+	indexEnv(t, func(env *kernel.Env) {
+		f := Format(env, DefaultBase, 1<<20)
+		scan := Attach2(env, DefaultBase, 1<<20)
+		scan.SetIndex(false)
+		rng := rand.New(rand.NewSource(99))
+		var live []string
+		paths := func() []string {
+			out := []string{"a", "b", "dir/x", "dir/y", "dir/sub/z", "w"}
+			return out
+		}()
+		if err := f.Mkdir("dir"); err != nil {
+			panic(err)
+		}
+		if err := f.Mkdir("dir/sub"); err != nil {
+			panic(err)
+		}
+		for step := 0; step < 600; step++ {
+			p := paths[rng.Intn(len(paths))]
+			switch rng.Intn(4) {
+			case 0:
+				if f.Create(p) == nil {
+					live = append(live, p)
+				}
+			case 1:
+				f.Unlink(p)
+			case 2:
+				f.WriteAt(p, rng.Intn(64), []byte("data"))
+			case 3:
+				np := p + fmt.Sprintf("r%d", rng.Intn(3))
+				f.Rename(p, np)
+			}
+			// Both handles, and both lookup paths, must agree on every
+			// candidate path after every step.
+			for _, q := range paths {
+				a := f.lookup(q)
+				b := scan.lookup(q)
+				if a != b {
+					panic(fmt.Sprintf("step %d: indexed lookup(%q)=%d, scan=%d", step, q, a, b))
+				}
+			}
+		}
+		_ = live
+	})
+}
+
+func TestIndexCoherentAcrossHandles(t *testing.T) {
+	indexEnv(t, func(env *kernel.Env) {
+		a := Format(env, DefaultBase, 1<<20)
+		b := Attach2(env, DefaultBase, 1<<20)
+		if err := a.Create("one"); err != nil {
+			panic(err)
+		}
+		if b.lookup("one") < 0 {
+			panic("handle b does not see handle a's create")
+		}
+		// b's cache is now warm; a mutation through a must invalidate it.
+		if err := a.Rename("one", "two"); err != nil {
+			panic(err)
+		}
+		if b.lookup("one") >= 0 {
+			panic("handle b still sees the old name after a's rename")
+		}
+		if b.lookup("two") < 0 {
+			panic("handle b does not see the new name")
+		}
+		// And the other direction: mutate through b, read through a.
+		if err := b.Unlink("two"); err != nil {
+			panic(err)
+		}
+		if a.lookup("two") >= 0 {
+			panic("handle a still sees an entry b unlinked")
+		}
+	})
+}
+
+// Attach2 attaches a second handle, failing the test on error.
+func Attach2(env *kernel.Env, base uint32, size uint64) *FS {
+	f, err := Attach(env, base, size)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// BenchmarkLookup measures path resolution at a full 128-slot inode
+// table — the satellite's target case — with the per-directory index on
+// and off. The tree is three levels deep, so every lookup resolves
+// three components; the scan pays O(NumInodes) per component.
+func BenchmarkLookup(b *testing.B) {
+	for _, indexed := range []bool{true, false} {
+		name := "indexed"
+		if !indexed {
+			name = "scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			indexEnv(b, func(env *kernel.Env) {
+				f := Format(env, DefaultBase, 1<<20)
+				f.SetIndex(indexed)
+				// Fill the table: 2 dirs, 5 subdirs each, leaves under
+				// them until the 128 slots run out.
+				var leaves []string
+				for d := 0; d < 2; d++ {
+					dir := fmt.Sprintf("d%d", d)
+					if err := f.Mkdir(dir); err != nil {
+						panic(err)
+					}
+					for s := 0; s < 5; s++ {
+						sub := fmt.Sprintf("%s/s%d", dir, s)
+						if err := f.Mkdir(sub); err != nil {
+							panic(err)
+						}
+					}
+				}
+				for i := 0; ; i++ {
+					leaf := fmt.Sprintf("d%d/s%d/f%03d", i%2, (i/2)%5, i)
+					if err := f.Create(leaf); err != nil {
+						break // table full
+					}
+					leaves = append(leaves, leaf)
+				}
+				if len(leaves) < 100 {
+					panic("table not full")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := f.Stat(leaves[i%len(leaves)]); err != nil {
+						panic(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -269,8 +269,8 @@ func (f *FS) adopt(pIno int, child *FS, cIno int, path string) (clashPath string
 				return "", ErrNameTaken
 			}
 			fresh = true
+			f.iPut(pIno, iParent, uint32(dir)) // parent before name: setName indexes under it
 			f.setName(pIno, leaf)
-			f.iPut(pIno, iParent, uint32(dir))
 			f.iPut(pIno, iExtOff, 0)
 			f.iPut(pIno, iExtCap, 0)
 			f.iPut(pIno, iForkVersion, 0)

@@ -49,6 +49,13 @@ func (e *Env) Insns() int64 { return e.sp.insns }
 // root space.
 func (e *Env) VT() int64 { return e.sp.vt }
 
+// NetStats reports the cross-node protocol traffic this space has
+// initiated so far — deterministic for the same reason VT is. The
+// cluster experiments read it through the collector to show the sharded
+// barrier tree cutting the root's message count from O(threads) to
+// O(nodes).
+func (e *Env) NetStats() NetStats { return e.sp.net }
+
 // --- instruction accounting --------------------------------------------------
 
 // Tick advances the instruction counter by n, modelling n instructions of

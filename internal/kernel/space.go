@@ -114,6 +114,7 @@ type Space struct {
 	node    *node    // node the space currently executes on
 	fetched *pageSet // pages resident on node; nil = everything (single node)
 	caches  map[int]*pageSet
+	net     NetStats // cross-node traffic this space initiated
 
 	// Per-node virtual CPU pools for the children this space collects
 	// (touched only by the collector's goroutine, in program order).
@@ -300,6 +301,7 @@ func (sp *Space) migrate(target *node) {
 	}
 	cost := sp.m.cost
 	sp.chargeVT(cost.MigrateMsg + msgExtra(cost))
+	sp.net.Msgs++
 	sp.node = target
 	if len(sp.m.nodes) > 1 {
 		if sp.m.noCache {
@@ -333,17 +335,43 @@ func msgExtra(c CostModel) int64 {
 // touchPages charges demand-paging costs for the page-aligned span
 // [addr, addr+size) and maintains the read-only cache: reads populate the
 // current node's cache; writes invalidate every other node's cached copy.
+//
+// Consecutive non-resident pages of one access are fetched as batched
+// runs when the cost model allows (CostModel.BatchPages): one request
+// round trip moves up to BatchPages pages, so a bulk read of a remote
+// span pays per-run rather than per-page protocol overhead. With
+// batching disabled every page is its own request, the original
+// per-page protocol, at exactly the original cost.
 func (sp *Space) touchPages(addr vm.Addr, size int, write bool) {
 	if sp.fetched == nil || size <= 0 {
 		return // single-node fast path: everything resident
 	}
 	cost := sp.m.cost
+	maxRun := cost.BatchPages
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	run := 0
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		sp.chargeVT(cost.batchMsg() + int64(run)*cost.PageTransfer + msgExtra(cost))
+		sp.net.Msgs++
+		sp.net.Pages += int64(run)
+		run = 0
+	}
 	first := addr &^ (vm.PageSize - 1)
 	last := (addr + vm.Addr(size) - 1) &^ (vm.PageSize - 1)
 	for p := first; ; p += vm.PageSize {
 		if !sp.fetched.has(p) {
-			sp.chargeVT(cost.MigrateMsg/4 + cost.PageTransfer + msgExtra(cost))
+			if run == maxRun {
+				flush()
+			}
+			run++
 			sp.fetched.add(p)
+		} else {
+			flush()
 		}
 		if write {
 			for id, c := range sp.caches {
@@ -356,6 +384,7 @@ func (sp *Space) touchPages(addr vm.Addr, size int, write bool) {
 			break
 		}
 	}
+	flush()
 }
 
 // inheritResidency initializes a child's residency tracking from its

@@ -307,11 +307,32 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 			int64(st.BytesMerged)*cost.ByteMerge +
 			int64(st.TablesAdopted)*cost.PageCopy +
 			int64(st.PagesAdopted)*cost.pageAdopt())
-		if len(sp.m.nodes) > 1 && sp.fetched != nil {
-			// The merge needed both sides' page data on this node, and the
-			// merged result must eventually reach the parent's home copy:
-			// charge wire traffic for the pages that actually moved.
-			sp.chargeVT(int64(st.PagesCompared+st.PagesAdopted) * (cost.PageTransfer + msgExtra(cost)))
+		if len(sp.m.nodes) > 1 && sp.home != child.node {
+			// The merge ran on the child's node, but the merged result
+			// must reach the caller's home copy: charge wire traffic for
+			// the pages that actually moved. A collector merging a child
+			// homed on its own node — a delegate collecting its local
+			// threads — moves nothing across the wire and charges
+			// nothing. With batching the child's delta ships as a compact
+			// page-run list (vm.DeltaRuns over its dirty tracking) —
+			// per-run request overhead instead of per-page messages; the
+			// runs' page total equals PagesCompared+PagesAdopted by
+			// construction.
+			if cost.batched() {
+				runs := vm.DeltaRuns(child.mem, child.snap, r.Addr, r.Size, cost.BatchPages)
+				pages := vm.DeltaPages(runs)
+				sp.chargeVT(int64(len(runs))*(cost.batchMsg()+msgExtra(cost)) +
+					int64(pages)*cost.PageTransfer)
+				sp.net.Msgs += int64(len(runs))
+				sp.net.Pages += int64(pages)
+			} else {
+				// Unbatched: every page ships as its own request, the same
+				// per-page framing the demand-paging path charges.
+				moved := int64(st.PagesCompared + st.PagesAdopted)
+				sp.chargeVT(moved * (cost.batchMsg() + cost.PageTransfer + msgExtra(cost)))
+				sp.net.Msgs += moved
+				sp.net.Pages += moved
+			}
 		}
 		if err != nil {
 			return info, err // vm.MergeConflictError: the paper's runtime exception

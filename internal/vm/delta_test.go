@@ -1,0 +1,138 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// deltaPagesOf re-derives the delta page set from a run list, for
+// comparisons against ground truth.
+func deltaPagesOf(runs []PageRun) map[Addr]bool {
+	set := make(map[Addr]bool)
+	for _, r := range runs {
+		for i := 0; i < r.Pages; i++ {
+			set[r.Addr+Addr(i)<<PageShift] = true
+		}
+	}
+	return set
+}
+
+func TestDeltaRunsMatchesMergeStats(t *testing.T) {
+	// Randomized page churn: DeltaRuns must name exactly the pages a
+	// Merge over the same range processes (adopted + compared), whether
+	// or not the walk is dirty-guided, and the guided and unguided walks
+	// must return identical run lists.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		const pages = 512
+		parent := NewSpace()
+		if err := parent.SetPerm(0, pages*PageSize, PermRW); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < pages; p += 3 {
+			if err := parent.WriteU32(Addr(p)<<PageShift, uint32(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		child := NewSpace()
+		child.CopyAllFrom(parent)
+		snap, _ := child.Snapshot()
+
+		touched := make(map[Addr]bool)
+		for i := 0; i < 64; i++ {
+			p := Addr(rng.Intn(pages))
+			a := p << PageShift
+			if err := child.WriteU32(a+Addr(rng.Intn(1024)*4), rng.Uint32()); err != nil {
+				t.Fatal(err)
+			}
+			touched[a] = true
+		}
+
+		guidedRuns := DeltaRuns(child, snap, 0, pages*PageSize, 0)
+		if !dirtyGuided(child, snap) {
+			t.Fatal("expected dirty-guided walk to be available")
+		}
+		// Force the unguided walk through a space with no snapshot link.
+		child2 := NewSpace()
+		child2.CopyAllFrom(child) // markAllDirty: guidance impossible
+		unguidedRuns := DeltaRuns(child2, snap, 0, pages*PageSize, 0)
+
+		got := deltaPagesOf(guidedRuns)
+		for a := range touched {
+			if !got[a] {
+				t.Fatalf("trial %d: touched page %#x missing from delta", trial, a)
+			}
+		}
+		for a := range got {
+			if !touched[a] {
+				t.Fatalf("trial %d: page %#x in delta but never written", trial, a)
+			}
+		}
+		if len(unguidedRuns) != len(guidedRuns) {
+			t.Fatalf("trial %d: guided/unguided run counts differ: %d vs %d",
+				trial, len(guidedRuns), len(unguidedRuns))
+		}
+		u2 := deltaPagesOf(unguidedRuns)
+		if len(u2) != len(got) {
+			t.Fatalf("trial %d: unguided page count %d != guided %d", trial, len(u2), len(got))
+		}
+		for a := range got {
+			if !u2[a] {
+				t.Fatalf("trial %d: unguided walk missing page %#x", trial, a)
+			}
+		}
+
+		// The merge over the same range must process exactly these pages.
+		dst := NewSpace()
+		dst.CopyAllFrom(parent)
+		st, err := Merge(dst, child, snap, 0, pages*PageSize)
+		if err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		if st.PagesAdopted+st.PagesCompared != len(got) {
+			t.Fatalf("trial %d: merge processed %d pages, delta names %d",
+				trial, st.PagesAdopted+st.PagesCompared, len(got))
+		}
+		snap.Free()
+	}
+}
+
+func TestDeltaRunsCoalescingAndCap(t *testing.T) {
+	parent := NewSpace()
+	if err := parent.SetPerm(0, 64*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	child := NewSpace()
+	child.CopyAllFrom(parent)
+	snap, _ := child.Snapshot()
+	// Two contiguous blocks: pages [4,12) and [20,23).
+	for p := 4; p < 12; p++ {
+		if err := child.WriteU32(Addr(p)<<PageShift, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 20; p < 23; p++ {
+		if err := child.WriteU32(Addr(p)<<PageShift, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := DeltaRuns(child, snap, 0, 64*PageSize, 0)
+	want := []PageRun{{4 << PageShift, 8}, {20 << PageShift, 3}}
+	if len(runs) != 2 || runs[0] != want[0] || runs[1] != want[1] {
+		t.Fatalf("runs = %+v, want %+v", runs, want)
+	}
+	if DeltaPages(runs) != 11 {
+		t.Fatalf("DeltaPages = %d, want 11", DeltaPages(runs))
+	}
+	// Capped at 3 pages per run: the 8-page block splits 3+3+2.
+	capped := DeltaRuns(child, snap, 0, 64*PageSize, 3)
+	if len(capped) != 4 || capped[0].Pages != 3 || capped[1].Pages != 3 ||
+		capped[2].Pages != 2 || capped[3].Pages != 3 {
+		t.Fatalf("capped runs = %+v", capped)
+	}
+	// Range narrowing: only the second block is visible.
+	narrow := DeltaRuns(child, snap, 16<<PageShift, 32*PageSize, 0)
+	if len(narrow) != 1 || narrow[0] != (PageRun{20 << PageShift, 3}) {
+		t.Fatalf("narrowed runs = %+v", narrow)
+	}
+}
