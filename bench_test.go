@@ -44,6 +44,7 @@ func BenchmarkFig12(b *testing.B)        { benchExperiment(b, "fig12") }
 func BenchmarkQuantum(b *testing.B)      { benchExperiment(b, "quantum") }
 func BenchmarkKVTable(b *testing.B)      { benchExperiment(b, "kv") }
 func BenchmarkClusterTable(b *testing.B) { benchExperiment(b, "cluster") }
+func BenchmarkCkptTable(b *testing.B)    { benchExperiment(b, "ckpt") }
 func BenchmarkTab3(b *testing.B)         { benchExperiment(b, "tab3") }
 
 // Per-workload micro-benchmarks: each benchmark kernel on Determinator

@@ -1,12 +1,59 @@
 // Package repro is a from-scratch Go reproduction of Determinator, the
 // operating system of "Efficient System-Enforced Deterministic
-// Parallelism" (Aviram, Weng, Hu, Ford — OSDI 2010).
+// Parallelism" (Aviram, Weng, Hu, Ford — OSDI 2010). Everything a
+// program computes under this API is deterministic: results depend only
+// on the program and its explicit inputs, never on scheduling.
+//
+// # Sessions
+//
+// The Session is the package's entry point: one builder that composes
+// the machine (cluster shape, cost model, merge workers), the runtime
+// (shared-region size, flat or sharded-tree collection), the
+// deterministic scheduler's configuration, console I/O, and trace
+// record/replay — the knobs the historical free functions Run, Boot,
+// NewSched and RecordTrace each configured in isolation.
+//
+//	sess, err := repro.NewSession(
+//	    repro.WithMachine(repro.MachineConfig{CPUsPerNode: 4}),
+//	    repro.WithRecord(),
+//	)
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
+//	res := sess.Run(func(rt *repro.RT) uint64 {
+//	    x := rt.Alloc(4, 0)
+//	    rt.Env().WriteU32(x, 1)
+//	    rt.ParallelDo(4, func(t *repro.Thread) uint64 { ... })
+//	    return uint64(rt.Env().ReadU32(x))
+//	})
+//
+// Sessions also own deterministic checkpoint/restore. A phased Program
+// can be checkpointed at any phase barrier into an Image — a versioned
+// serialization of the whole space tree (memory, snapshots, COW sharing
+// and dirty tracking), every space's virtual time and traffic counters,
+// the device cursors and the trace log so far — and resumed from that
+// Image in a fresh Session or a fresh process:
+//
+//	img, _ := sess.RunToCheckpoint(prog, 2)     // run 2 phases, snapshot
+//	data, _ := img.Bytes()                      // ship/store the image
+//	img2, _ := repro.DecodeImage(data)
+//	res, _ := sess2.Resume(img2, prog)          // bit-identical continuation
+//
+// The resumed run's checksums, conflict reports and virtual times are
+// bit-identical to an uninterrupted run's, and a run that checkpoints is
+// bit-identical to one that does not (checkpointing is a pure
+// observation). See Session, Program and Image; examples/checkpoint is a
+// runnable walkthrough.
+//
+// # Layers
 //
 // The root package is a facade over the layered implementation:
 //
-//   - internal/vm      — software paged memory: COW, snapshots, byte-level merge
+//   - internal/vm      — software paged memory: COW, snapshots, byte-level
+//     merge, and the canonical forest serialization behind checkpoints
 //   - internal/kernel  — spaces, Put/Get/Ret, instruction limits, migration,
-//     devices, and the deterministic virtual-time cost model
+//     devices, checkpoint/restore of space trees, and the deterministic
+//     virtual-time cost model
 //   - internal/core    — the private workspace model: fork/join threads,
 //     barriers, deterministic allocation (the paper's §4.4)
 //   - internal/fs      — replicated file system with versioned reconciliation
@@ -16,17 +63,11 @@
 //   - internal/workload, internal/baseline, internal/bench — the paper's
 //     evaluation: benchmarks, comparison systems, experiment harness
 //
-// The quickest start:
-//
-//	res := repro.Run(repro.Options{}, func(rt *repro.RT) uint64 {
-//	    x := rt.Alloc(4, 0)
-//	    rt.Env().WriteU32(x, 1)
-//	    rt.ParallelDo(4, func(t *repro.Thread) uint64 { ... })
-//	    return uint64(rt.Env().ReadU32(x))
-//	})
-//
-// Everything a program computes under this API is deterministic: results
-// depend only on the program and its explicit inputs, never on scheduling.
+// The pre-Session entry points (Run, Boot, NewSched, RecordTrace, …)
+// remain as thin wrappers. Unlike before, they validate their inputs:
+// values that used to be silently replaced by defaults (a negative
+// quantum, negative worker counts) now surface as typed errors
+// (*ConfigError, *SchedConfigError).
 package repro
 
 import (
@@ -61,6 +102,25 @@ type (
 	Status = kernel.Status
 )
 
+// Checkpoint/restore (see Session).
+type (
+	// RTState is the runtime bookkeeping carried by an Image.
+	RTState = core.RTState
+	// SchedState is a deterministic scheduler's exported state, stashed
+	// in an Image by Program.Snapshot and reattached with AttachSched.
+	SchedState = dsched.State
+	// NotQuiescentError reports a checkpoint attempted while a space was
+	// suspended mid-execution.
+	NotQuiescentError = kernel.NotQuiescentError
+	// BadImageError reports a corrupt or truncated machine image.
+	BadImageError = kernel.BadImageError
+	// ImageVersionError reports a machine image from a newer format.
+	ImageVersionError = kernel.ImageVersionError
+	// ImageMismatchError reports a restore onto a machine whose
+	// configuration differs from the checkpointed one.
+	ImageMismatchError = kernel.ImageMismatchError
+)
+
 // Private workspace threading (the paper's primary contribution).
 type (
 	// RT is the user-level runtime: fork/join, barriers, allocation.
@@ -77,8 +137,9 @@ type (
 type (
 	// Proc is an emulated Unix process.
 	Proc = uproc.Proc
-	// Program is an executable image for fork/exec.
-	Program = uproc.Program
+	// UnixProgram is an executable image for fork/exec (the name Program
+	// now belongs to the Session's phased checkpointable programs).
+	UnixProgram = uproc.Program
 	// Registry maps program names to images.
 	Registry = uproc.Registry
 	// BootConfig configures a process-tree boot.
@@ -91,6 +152,10 @@ type (
 	FS = fs.FS
 	// Sched is the deterministic scheduler for legacy thread APIs.
 	Sched = dsched.Sched
+	// SchedConfig is the deterministic scheduler's full configuration.
+	SchedConfig = dsched.Config
+	// SchedConfigError reports an invalid scheduler configuration.
+	SchedConfigError = dsched.BadConfigError
 	// SchedThread is a thread handle under the deterministic scheduler.
 	SchedThread = dsched.Thread
 	// Mutex names a scheduler-managed mutex.
@@ -107,12 +172,43 @@ type (
 func NewMachine(cfg MachineConfig) *Machine { return kernel.New(cfg) }
 
 // Run executes main as a deterministic parallel program on a fresh
-// machine and returns the result.
+// machine and returns the result. It is the legacy one-shot form of
+// Session.Run, kept as a thin wrapper.
 func Run(opts Options, main func(rt *RT) uint64) RunResult { return core.Run(opts, main) }
 
 // NewRT attaches a private-workspace runtime to a root environment,
-// mapping the shared region (size 0 selects the default).
-func NewRT(env *Env, sharedSize uint64) *RT { return core.New(env, sharedSize) }
+// mapping the shared region (size 0 selects the default). A region that
+// cannot fit the address space panics with *ConfigError; NewRTWith is
+// the non-panicking, full-options form.
+func NewRT(env *Env, sharedSize uint64) *RT {
+	rt, err := NewRTWith(env, Options{SharedSize: sharedSize})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NewRTWith attaches a runtime honoring every runtime option — the
+// legacy NewRT accepted a size and silently ignored the rest of
+// core.Options. Invalid values return *ConfigError, including a
+// non-zero Options.Kernel: env's machine is already built, so machine
+// configuration here can only be a mistake (build the machine through
+// a Session or NewMachine instead).
+func NewRTWith(env *Env, opts Options) (*RT, error) {
+	if k := opts.Kernel; k.Nodes != 0 || k.CPUsPerNode != 0 || k.Cost != (CostModel{}) ||
+		k.Console != nil || k.Clock != nil || k.Rand != nil || k.DisableROCache ||
+		k.MergeWorkers != 0 {
+		return nil, &ConfigError{Field: "Kernel",
+			Reason: "machine configuration cannot apply to an already-built machine; use NewSession or NewMachine"}
+	}
+	if opts.SharedSize > maxSharedSize {
+		return nil, &ConfigError{Field: "SharedSize",
+			Reason: "region does not fit the address space above the shared base"}
+	}
+	rt := core.New(env, opts.SharedSize)
+	rt.SetTreeJoin(opts.TreeJoin)
+	return rt, nil
+}
 
 // NewRegistry returns an empty program registry for Boot.
 func NewRegistry() *Registry { return uproc.NewRegistry() }
@@ -123,13 +219,28 @@ func Boot(cfg BootConfig, entry string, args ...string) uproc.BootResult {
 }
 
 // NewSched creates a deterministic scheduler for legacy mutex/condvar
-// code in the master space managed by rt.
+// code in the master space managed by rt. Quantum 0 selects the default;
+// a negative quantum — which used to be silently replaced by the default
+// — panics with *SchedConfigError. NewSchedWith is the non-panicking
+// form and accepts the full SchedConfig, which this wrapper historically
+// dropped.
 func NewSched(rt *RT, quantum int64) *Sched {
-	return dsched.New(rt, dsched.Config{Quantum: quantum})
+	s, err := NewSchedWith(rt, SchedConfig{Quantum: quantum})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSchedWith creates a deterministic scheduler from a full
+// configuration, validating it (typed *SchedConfigError).
+func NewSchedWith(rt *RT, cfg SchedConfig) (*Sched, error) {
+	return dsched.NewChecked(rt, cfg)
 }
 
 // RecordTrace instruments cfg so all nondeterministic device inputs are
-// captured; ReplayTrace makes cfg reproduce a recorded log.
+// captured; ReplayTrace makes cfg reproduce a recorded log. Sessions
+// subsume both (WithRecord/WithReplay) and add mid-log resume.
 func RecordTrace(cfg *MachineConfig) *TraceLog { return trace.Record(cfg) }
 
 // ReplayTrace configures cfg's devices to replay l.

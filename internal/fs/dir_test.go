@@ -152,14 +152,16 @@ func TestRenameFileAcrossDirectories(t *testing.T) {
 		if err := f.Rename("a/f", "b/g"); !errors.Is(err, ErrExists) {
 			t.Fatalf("rename onto live target: %v", err)
 		}
-		// Empty directories rename; non-empty ones refuse.
+		// Directories rename whether empty or not — a non-empty one
+		// decomposes transitively (see rename_test.go for the semantics).
 		must(f.Mkdir("empty"))
 		must(f.Rename("empty", "moved"))
 		if info, err := f.Stat("moved"); err != nil || !info.Dir {
 			t.Fatalf("renamed dir = %+v, %v", info, err)
 		}
-		if err := f.Rename("b", "c"); !errors.Is(err, ErrDirNotEmpty) {
-			t.Fatalf("rename non-empty dir: %v", err)
+		must(f.Rename("b", "c"))
+		if got, err := f.ReadFile("c/g"); err != nil || string(got) != "payload" {
+			t.Fatalf("moved dir content = %q, %v", got, err)
 		}
 	})
 }

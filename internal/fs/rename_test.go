@@ -1,0 +1,244 @@
+package fs
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// Transitive rename: moving a non-empty directory decomposes per entry
+// (tombstone old path, fresh entry at the new one), parents before
+// children, so it propagates through reconciliation with no extra
+// protocol.
+
+func namesOf(f *FS) []string {
+	var out []string
+	for _, in := range f.List() {
+		out = append(out, in.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestRenameNonEmptyDirectory(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		mustNoErr := func(err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustNoErr(f.Mkdir("src"))
+		mustNoErr(f.Mkdir("src/lib"))
+		mustNoErr(f.WriteFile("src/main.go", []byte("package main")))
+		mustNoErr(f.WriteFile("src/lib/a.go", []byte("package a")))
+		mustNoErr(f.WriteFile("src/lib/b.go", []byte("package b")))
+
+		if err := f.Rename("src", "pkg"); err != nil {
+			t.Fatalf("rename non-empty dir: %v", err)
+		}
+		want := []string{"pkg", "pkg/lib", "pkg/lib/a.go", "pkg/lib/b.go", "pkg/main.go"}
+		if got := namesOf(f); len(got) != len(want) {
+			t.Fatalf("post-rename listing %v, want %v", got, want)
+		} else {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("post-rename listing %v, want %v", got, want)
+				}
+			}
+		}
+		for path, body := range map[string]string{
+			"pkg/main.go":  "package main",
+			"pkg/lib/a.go": "package a",
+			"pkg/lib/b.go": "package b",
+		} {
+			got, err := f.ReadFile(path)
+			if err != nil || string(got) != body {
+				t.Fatalf("read %s = %q, %v", path, got, err)
+			}
+		}
+		if _, err := f.Stat("src"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("old root still visible: %v", err)
+		}
+		if _, err := f.ReadFile("src/lib/a.go"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("old nested path still visible: %v", err)
+		}
+	})
+}
+
+func TestRenameDirIntoOwnSubtreeRejected(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Mkdir("a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Mkdir("a/b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteFile("a/f", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Rename("a", "a/b/c"); !errors.Is(err, ErrBadName) {
+			t.Fatalf("rename into own subtree: %v, want ErrBadName", err)
+		}
+		if err := f.Rename("a", "a"); !errors.Is(err, ErrExists) {
+			t.Fatalf("rename onto itself: %v, want ErrExists", err)
+		}
+	})
+}
+
+func TestRenameDirOntoLiveEntryRejected(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		for _, err := range []error{
+			f.Mkdir("a"), f.WriteFile("a/f", []byte("x")), f.WriteFile("taken", []byte("y")),
+		} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Rename("a", "taken"); !errors.Is(err, ErrExists) {
+			t.Fatalf("rename onto live file: %v, want ErrExists", err)
+		}
+		// The failed rename mutated nothing.
+		if _, err := f.ReadFile("a/f"); err != nil {
+			t.Fatalf("source damaged by failed rename: %v", err)
+		}
+	})
+}
+
+// A child replica renames a populated directory; the parent adopts the
+// move through ordinary per-entry reconciliation.
+func TestRenameDirPropagatesThroughReconcile(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		for _, err := range []error{
+			f.Mkdir("data"), f.WriteFile("data/one", []byte("1")),
+			f.Mkdir("data/sub"), f.WriteFile("data/sub/two", []byte("22")),
+		} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		child := forkImage(t, env, f)
+		if err := child.Rename("data", "archive"); err != nil {
+			t.Fatalf("child rename: %v", err)
+		}
+		conflicts, err := f.ReconcileFrom(child)
+		if err != nil {
+			t.Fatalf("reconcile: %v", err)
+		}
+		if len(conflicts) != 0 {
+			t.Fatalf("unexpected conflicts: %v", conflicts)
+		}
+		for path, body := range map[string]string{
+			"archive/one": "1", "archive/sub/two": "22",
+		} {
+			got, err := f.ReadFile(path)
+			if err != nil || string(got) != body {
+				t.Fatalf("parent %s = %q, %v", path, got, err)
+			}
+		}
+		if _, err := f.Stat("data"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("parent still sees old dir: %v", err)
+		}
+		if _, err := f.ReadFile("data/sub/two"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("parent still sees old nested file: %v", err)
+		}
+	})
+}
+
+// A concurrent parent-side edit under the old path surfaces as the
+// ordinary modify/delete conflict — rename adds no new semantics.
+func TestRenameDirReconcileConflictOnConcurrentEdit(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		for _, err := range []error{
+			f.Mkdir("d"), f.WriteFile("d/f", []byte("base")),
+		} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		child := forkImage(t, env, f)
+		if err := child.Rename("d", "e"); err != nil {
+			t.Fatalf("child rename: %v", err)
+		}
+		// Parent edits the file at its old path after the fork.
+		if err := f.WriteFile("d/f", []byte("edited")); err != nil {
+			t.Fatal(err)
+		}
+		conflicts, err := f.ReconcileFrom(child)
+		if err != nil {
+			t.Fatalf("reconcile: %v", err)
+		}
+		found := false
+		for _, c := range conflicts {
+			if c.Name == "d/f" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("expected modify/delete conflict at d/f, got %v", conflicts)
+		}
+		// The moved copy still arrived at the new path with fork-time bytes.
+		got, err := f.ReadFile("e/f")
+		if err != nil || string(got) != "base" {
+			t.Fatalf("e/f = %q, %v", got, err)
+		}
+	})
+}
+
+// Renames of sibling subtrees from two replicas compose: each is just
+// per-entry tombstones and creations.
+func TestRenameTwoReplicasDisjointDirs(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		for _, err := range []error{
+			f.Mkdir("a"), f.WriteFile("a/x", []byte("ax")),
+			f.Mkdir("b"), f.WriteFile("b/y", []byte("by")),
+		} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		childA := forkImage(t, env, f)
+		childB := forkImage(t, env, f)
+		if err := childA.Rename("a", "a2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := childB.Rename("b", "b2"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ReconcileFrom(childA); err != nil {
+			t.Fatal(err)
+		}
+		childB.StampFork()
+		if _, err := f.ReconcileFrom(childB); err != nil {
+			t.Fatal(err)
+		}
+		for path, body := range map[string]string{"a2/x": "ax", "b2/y": "by"} {
+			got, err := f.ReadFile(path)
+			if err != nil || string(got) != body {
+				t.Fatalf("%s = %q, %v", path, got, err)
+			}
+		}
+		for _, gone := range []string{"a", "b", "a/x", "b/y"} {
+			if _, err := f.Stat(gone); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("%s still visible: %v", gone, err)
+			}
+		}
+	})
+}
+
+func TestRenameEmptyDirStillWorks(t *testing.T) {
+	withFS(t, func(env *kernel.Env, f *FS) {
+		if err := f.Mkdir("empty"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Rename("empty", "renamed"); err != nil {
+			t.Fatalf("empty dir rename: %v", err)
+		}
+		info, err := f.Stat("renamed")
+		if err != nil || !info.Dir {
+			t.Fatalf("stat renamed: %+v, %v", info, err)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Package imgenc holds the bounds-checked cursor reader shared by the
+// checkpoint-image decoders (vm's forest images, kernel's machine
+// images, the session images of the root package). Each layer keeps its
+// own typed error; the reader takes a constructor so a decoding failure
+// surfaces as that layer's error with the offset it happened at.
+package imgenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Reader is a sticky-error cursor over an image payload: the first
+// failure (truncation, bad count) is recorded and every later read
+// returns zero values, so decoders can be written straight-line and
+// check Err once per section.
+type Reader struct {
+	B    []byte
+	Off  int
+	Err  error
+	Wrap func(off int, msg string) error // builds the layer's typed error
+}
+
+// Failf records a decoding failure at the current offset (first one wins).
+func (r *Reader) Failf(format string, args ...any) {
+	if r.Err == nil {
+		r.Err = r.Wrap(r.Off, fmt.Sprintf(format, args...))
+	}
+}
+
+// Take consumes n bytes, failing on truncation.
+func (r *Reader) Take(n int) []byte {
+	if r.Err != nil {
+		return nil
+	}
+	if n < 0 || r.Off+n > len(r.B) {
+		r.Failf("truncated (%d bytes wanted, %d left)", n, len(r.B)-r.Off)
+		return nil
+	}
+	p := r.B[r.Off : r.Off+n]
+	r.Off += n
+	return p
+}
+
+func (r *Reader) U8() byte {
+	p := r.Take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *Reader) U16() uint16 {
+	p := r.Take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (r *Reader) U32() uint32 {
+	p := r.Take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *Reader) U64() uint64 {
+	p := r.Take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Str reads a u32-length-prefixed string.
+func (r *Reader) Str() string {
+	n := int(r.U32())
+	if r.Err == nil && n > len(r.B)-r.Off {
+		r.Failf("string length %d exceeds image", n)
+		return ""
+	}
+	return string(r.Take(n))
+}
+
+// Remaining reports the bytes left after the cursor.
+func (r *Reader) Remaining() int { return len(r.B) - r.Off }
+
+// Seal appends the CRC32 trailer that Open verifies.
+func Seal(b []byte) []byte {
+	return append(b, binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(b))...)
+}
+
+// Open verifies an image's framing — length, CRC32 trailer, magic and
+// version byte — and returns a Reader positioned just past the header.
+// Framing problems surface through wrap (the layer's corrupt-image
+// error); an unexpected version goes through badVersion so each layer
+// keeps its typed version error.
+func Open(data []byte, magic [4]byte, version byte, wrap func(off int, msg string) error,
+	badVersion func(v byte) error) (*Reader, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, wrap(0, "short image")
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
+		return nil, wrap(len(payload), "checksum mismatch (corrupt image)")
+	}
+	r := &Reader{B: payload, Wrap: wrap}
+	if got := r.Take(4); r.Err == nil && string(got) != string(magic[:]) {
+		return nil, wrap(0, "bad magic")
+	}
+	if v := r.U8(); r.Err == nil && v != version {
+		return nil, badVersion(v)
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r, nil
+}

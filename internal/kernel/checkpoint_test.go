@@ -1,0 +1,371 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// A tiny phased program used by the checkpoint tests: a shared region at
+// ckBase, one child forked per phase that mutates its replica, a merge
+// back, and device reads folded into a running checksum so clock/entropy
+// cursors matter to the result.
+const (
+	ckBase vm.Addr = 0x1000_0000
+	ckSize uint64  = 4 << 20
+)
+
+func ckChild(phase int) Prog {
+	return func(env *Env) {
+		env.Tick(50 * int64(phase+1))
+		a := ckBase + vm.Addr(phase*vm.PageSize)
+		env.WriteU64(a, env.ReadU64(a)+uint64(phase)*3+1)
+	}
+}
+
+// ckPhase runs one fork/merge round plus device reads.
+func ckPhase(t testing.TB, env *Env, phase int) {
+	env.Tick(100)
+	if err := env.Put(1, PutOpts{
+		Regs:  &Regs{Entry: ckChild(phase), Arg: uint64(phase)},
+		Copy:  &CopyRange{Src: ckBase, Dst: ckBase, Size: ckSize},
+		Snap:  true,
+		Start: true,
+	}); err != nil {
+		t.Errorf("phase %d put: %v", phase, err)
+		return
+	}
+	if _, err := env.Get(1, GetOpts{Regs: true, Merge: true,
+		MergeRange: &Range{Addr: ckBase, Size: ckSize}}); err != nil {
+		t.Errorf("phase %d get: %v", phase, err)
+		return
+	}
+	sum := env.ReadU64(ckBase + 8*vm.PageSize)
+	sum = sum*31 + uint64(env.ClockNow()) + env.RandUint64()
+	env.WriteU64(ckBase+8*vm.PageSize, sum)
+}
+
+func ckResult(env *Env) {
+	var out uint64
+	for p := 0; p < 9; p++ {
+		out = out*1099511628211 + env.ReadU64(ckBase+vm.Addr(p*vm.PageSize))
+	}
+	env.SetRet(out)
+}
+
+const ckPhases = 4
+
+// ckProg runs phases [start, ckPhases). Setup runs only when start==0.
+func ckProg(t testing.TB, start int, onBarrier func(env *Env, nextPhase int) bool) Prog {
+	return func(env *Env) {
+		if start == 0 {
+			env.SetPerm(ckBase, ckSize, vm.PermRW)
+		}
+		for p := start; p < ckPhases; p++ {
+			ckPhase(t, env, p)
+			if onBarrier != nil && !onBarrier(env, p+1) {
+				return
+			}
+		}
+		ckResult(env)
+	}
+}
+
+func ckConfig() Config {
+	return Config{CPUsPerNode: 2, MergeWorkers: 1}
+}
+
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	// Reference: the uninterrupted run.
+	want := New(ckConfig()).Run(ckProg(t, 0, nil), 0)
+	if want.Err != nil {
+		t.Fatalf("uninterrupted run: %v", want.Err)
+	}
+
+	for stop := 1; stop < ckPhases; stop++ {
+		// A run that checkpoints at the barrier after phase stop-1 and
+		// halts there.
+		var img []byte
+		res := New(ckConfig()).Run(ckProg(t, 0, func(env *Env, next int) bool {
+			if next != stop {
+				return true
+			}
+			var err error
+			img, err = env.Checkpoint(CheckpointOpts{})
+			if err != nil {
+				t.Errorf("checkpoint at %d: %v", next, err)
+			}
+			return false
+		}), 0)
+		if res.Err != nil {
+			t.Fatalf("checkpointing run: %v", res.Err)
+		}
+		if img == nil {
+			t.Fatalf("no image captured at phase %d", stop)
+		}
+
+		// Resume in a fresh machine and run the remaining phases.
+		m := New(ckConfig())
+		if err := m.Restore(img); err != nil {
+			t.Fatalf("restore at %d: %v", stop, err)
+		}
+		got := m.Run(ckProg(t, stop, nil), 0)
+		if got.Err != nil {
+			t.Fatalf("resumed run: %v", got.Err)
+		}
+		if got.Ret != want.Ret || got.VT != want.VT || got.Insns != want.Insns || got.Net != want.Net {
+			t.Fatalf("resume at phase %d diverged:\n got %+v\nwant %+v", stop, got, want)
+		}
+	}
+}
+
+// A checkpoint must be a pure observation: taking one mid-run and
+// continuing produces bit-identical results to never taking one.
+func TestCheckpointIsVTNeutral(t *testing.T) {
+	want := New(ckConfig()).Run(ckProg(t, 0, nil), 0)
+	got := New(ckConfig()).Run(ckProg(t, 0, func(env *Env, next int) bool {
+		if _, err := env.Checkpoint(CheckpointOpts{}); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+		return true // keep running after every checkpoint
+	}), 0)
+	if got.Ret != want.Ret || got.VT != want.VT || got.Insns != want.Insns {
+		t.Fatalf("checkpointing run diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointRequiresQuiescence(t *testing.T) {
+	res := New(ckConfig()).Run(func(env *Env) {
+		// A child parked at a Ret cannot be serialized.
+		if err := env.Put(1, PutOpts{
+			Regs:  &Regs{Entry: func(e *Env) { e.Ret(); e.Tick(1) }},
+			Start: true,
+		}); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		if _, err := env.Get(1, GetOpts{}); err != nil { // rendezvous: child parked
+			t.Errorf("get: %v", err)
+			return
+		}
+		_, err := env.Checkpoint(CheckpointOpts{})
+		var nq *NotQuiescentError
+		if !errors.As(err, &nq) {
+			t.Errorf("parked child: got %v, want *NotQuiescentError", err)
+			return
+		}
+		// The ref in the error is the node-qualified child key.
+		if nq.Ref != ChildOn(0, 1) || nq.Status != StatusRet {
+			t.Errorf("NotQuiescentError fields: %+v", nq)
+		}
+		// Explicitly allowing the parked child makes it serializable as a
+		// restartable space.
+		if _, err := env.Checkpoint(CheckpointOpts{AllowParked: []uint64{1}}); err != nil {
+			t.Errorf("allow-parked checkpoint: %v", err)
+		}
+	}, 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestCheckpointOnlyRoot(t *testing.T) {
+	res := New(ckConfig()).Run(func(env *Env) {
+		err := env.Put(1, PutOpts{Regs: &Regs{Entry: func(e *Env) {
+			if _, err := e.Checkpoint(CheckpointOpts{}); err == nil {
+				t.Error("non-root checkpoint succeeded")
+			}
+		}}, Start: true})
+		if err != nil {
+			t.Error(err)
+		}
+		env.Get(1, GetOpts{})
+	}, 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// captureImage runs the deterministic phased program to a fixed barrier
+// and returns the image — the corpus for the format tests below.
+func captureImage(t testing.TB) []byte {
+	t.Helper()
+	var img []byte
+	res := New(ckConfig()).Run(ckProg(t, 0, func(env *Env, next int) bool {
+		if next != 2 {
+			return true
+		}
+		var err error
+		img, err = env.Checkpoint(CheckpointOpts{})
+		if err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+		return false
+	}), 0)
+	if res.Err != nil || img == nil {
+		t.Fatalf("capture failed: %v", res.Err)
+	}
+	return img
+}
+
+// The golden-file test pins the image format: identical machine state
+// must serialize to identical bytes, and any (intentional) format change
+// must come with a version bump and a regenerated golden file.
+func TestCheckpointGoldenImage(t *testing.T) {
+	img := captureImage(t)
+	if img[4] != CheckpointVersion {
+		t.Fatalf("version byte at offset 4 is %d, want %d", img[4], CheckpointVersion)
+	}
+	golden := filepath.Join("testdata", "ckpt_v1.golden")
+	want, err := os.ReadFile(golden)
+	if os.IsNotExist(err) {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("golden file created; commit %s and re-run", golden)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Fatalf("image bytes differ from golden file (%d vs %d bytes); "+
+			"format changes require a CheckpointVersion bump and a regenerated golden", len(img), len(want))
+	}
+	// The golden image still restores and resumes to the same result.
+	m := New(ckConfig())
+	if err := m.Restore(want); err != nil {
+		t.Fatalf("golden restore: %v", err)
+	}
+	got := m.Run(ckProg(t, 2, nil), 0)
+	ref := New(ckConfig()).Run(ckProg(t, 0, nil), 0)
+	if got.Ret != ref.Ret || got.VT != ref.VT {
+		t.Fatalf("golden resume diverged: got %+v want %+v", got, ref)
+	}
+}
+
+func TestRestoreRejectsBadImages(t *testing.T) {
+	img := captureImage(t)
+	var bad *BadImageError
+	var verr *ImageVersionError
+
+	for _, cut := range []int{0, 4, 8, len(img) / 3, len(img) - 1} {
+		if err := New(ckConfig()).Restore(img[:cut]); !errors.As(err, &bad) {
+			t.Fatalf("truncated at %d: got %v, want *BadImageError", cut, err)
+		}
+	}
+	flip := append([]byte(nil), img...)
+	flip[len(flip)/2] ^= 0x10
+	if err := New(ckConfig()).Restore(flip); !errors.As(err, &bad) {
+		t.Fatalf("corrupt: got %v, want *BadImageError", err)
+	}
+	// Forward-compat: a version bump fails closed with the typed error.
+	futur := append([]byte(nil), img...)
+	futur[4] = CheckpointVersion + 1
+	fixImageCRC(futur)
+	err := New(ckConfig()).Restore(futur)
+	if !errors.As(err, &verr) || verr.Version != CheckpointVersion+1 {
+		t.Fatalf("future version: got %v, want *ImageVersionError{Version: %d}", err, CheckpointVersion+1)
+	}
+}
+
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	img := captureImage(t)
+	var mm *ImageMismatchError
+
+	cfg := ckConfig()
+	cfg.CPUsPerNode = 7
+	if err := New(cfg).Restore(img); !errors.As(err, &mm) || mm.Field != "CPUs per node" {
+		t.Fatalf("cpu mismatch: got %v", err)
+	}
+	cfg = ckConfig()
+	cfg.Nodes = 3
+	if err := New(cfg).Restore(img); !errors.As(err, &mm) || mm.Field != "node count" {
+		t.Fatalf("node mismatch: got %v", err)
+	}
+	cfg = ckConfig()
+	cfg.Cost = DefaultCostModel()
+	cfg.Cost.PageCompare++
+	if err := New(cfg).Restore(img); !errors.As(err, &mm) || mm.Field != "cost model" {
+		t.Fatalf("cost mismatch: got %v", err)
+	}
+}
+
+// Multi-node machines carry residency caches, per-node pools and traffic
+// counters through the image.
+func TestCheckpointResumeMultiNode(t *testing.T) {
+	cfg := Config{Nodes: 3, CPUsPerNode: 2, MergeWorkers: 1}
+	prog := func(start int, onBarrier func(env *Env, next int) bool) Prog {
+		return func(env *Env) {
+			if start == 0 {
+				env.SetPerm(ckBase, ckSize, vm.PermRW)
+			}
+			for p := start; p < ckPhases; p++ {
+				env.Tick(10)
+				ref := ChildOn(p%3, 1)
+				if err := env.Put(ref, PutOpts{
+					Regs:  &Regs{Entry: ckChild(p), Arg: uint64(p)},
+					Copy:  &CopyRange{Src: ckBase, Dst: ckBase, Size: ckSize},
+					Snap:  true,
+					Start: true,
+				}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, err := env.Get(ref, GetOpts{Merge: true,
+					MergeRange: &Range{Addr: ckBase, Size: ckSize}}); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if onBarrier != nil && !onBarrier(env, p+1) {
+					return
+				}
+			}
+			ckResult(env)
+		}
+	}
+	want := New(cfg).Run(prog(0, nil), 0)
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+	if want.Net.Msgs == 0 {
+		t.Fatal("test expects cross-node traffic")
+	}
+	for stop := 1; stop < ckPhases; stop++ {
+		var img []byte
+		if res := New(cfg).Run(prog(0, func(env *Env, next int) bool {
+			if next != stop {
+				return true
+			}
+			var err error
+			img, err = env.Checkpoint(CheckpointOpts{})
+			if err != nil {
+				t.Errorf("checkpoint: %v", err)
+			}
+			return false
+		}), 0); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		m := New(cfg)
+		if err := m.Restore(img); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		got := m.Run(prog(stop, nil), 0)
+		if got.Ret != want.Ret || got.VT != want.VT || got.Net != want.Net {
+			t.Fatalf("multi-node resume at %d diverged:\n got %+v\nwant %+v", stop, got, want)
+		}
+	}
+}
+
+func fixImageCRC(img []byte) {
+	payload := img[:len(img)-4]
+	binary.LittleEndian.PutUint32(img[len(img)-4:], crc32.ChecksumIEEE(payload))
+}

@@ -245,7 +245,9 @@ func (e *Env) requireRoot(op string) {
 // when no input is pending; the caller decides how to wait.
 func (e *Env) ConsoleRead(p []byte) int {
 	e.requireRoot("console-read")
-	return e.sp.m.console.read(p)
+	n := e.sp.m.console.read(p)
+	e.sp.m.devConsole += int64(n)
+	return n
 }
 
 // ConsoleWrite writes console output (root only).
@@ -258,11 +260,13 @@ func (e *Env) ConsoleWrite(p []byte) {
 // nondeterministic input in the sense of §2.1.
 func (e *Env) ClockNow() int64 {
 	e.requireRoot("clock")
+	e.sp.m.devClock++
 	return e.sp.m.clock()
 }
 
 // RandUint64 reads the machine's entropy device (root only).
 func (e *Env) RandUint64() uint64 {
 	e.requireRoot("rand")
+	e.sp.m.devRand++
 	return e.sp.m.rand()
 }

@@ -134,6 +134,19 @@ type Machine struct {
 
 	wg   sync.WaitGroup // all space goroutines ever started
 	root *Space
+
+	// restored marks a machine whose root tree was loaded by Restore;
+	// the next Run resumes it instead of creating a fresh root. broken
+	// poisons a machine whose devices were partially fast-forwarded by a
+	// failed Restore: running it would be silently nondeterministic.
+	restored bool
+	broken   error
+	// Device cursors: reads consumed from each device so far. They are
+	// part of a checkpoint image — a restore fast-forwards the devices by
+	// these counts so clock/entropy/console streams resume mid-log.
+	devClock   int64
+	devRand    int64
+	devConsole int64
 }
 
 // node models one machine in the cluster: an identity for the migration
@@ -247,12 +260,26 @@ type RunResult struct {
 // until the root halts and every descendant space has stopped. The root is
 // the only space with device access. A Machine may be Run once.
 func (m *Machine) Run(prog Prog, arg uint64) RunResult {
-	if m.root != nil {
-		panic("kernel: Machine.Run called twice")
+	if m.broken != nil {
+		panic(fmt.Sprintf("kernel: Machine.Run on a machine poisoned by a failed restore: %v", m.broken))
 	}
-	root := newSpace(m, nil, 0, m.nodes[0])
-	root.regs = Regs{Entry: prog, Arg: arg}
-	m.root = root
+	var root *Space
+	if m.restored {
+		// Restore rebuilt the root tree; resume it with the new entry.
+		// Virtual time, instruction and traffic counters continue from
+		// their checkpointed values.
+		root = m.root
+		m.restored = false
+		root.regs.Entry = prog
+		root.regs.Arg = arg
+	} else {
+		if m.root != nil {
+			panic("kernel: Machine.Run called twice")
+		}
+		root = newSpace(m, nil, 0, m.nodes[0])
+		root.regs = Regs{Entry: prog, Arg: arg}
+		m.root = root
+	}
 	root.start(0)
 	root.waitStopped()
 	res := RunResult{

@@ -35,6 +35,119 @@ func Unmarshal(data []byte) (*Log, error) {
 	return l, nil
 }
 
+// Clone returns a deep copy of the log — a stable snapshot of a log
+// that is still being recorded into (the checkpoint path).
+func (l *Log) Clone() *Log {
+	c := &Log{
+		Clock: append([]int64(nil), l.Clock...),
+		Rand:  append([]uint64(nil), l.Rand...),
+	}
+	for _, chunk := range l.Input {
+		c.Input = append(c.Input, append([]byte(nil), chunk...))
+	}
+	return c
+}
+
+// ReplayPrefix wraps cfg's devices so the first len(prefix.*) readings
+// of each device come from the prefix log, after which reads fall
+// through to the devices cfg already had. Each replayed reading also
+// consumes (and discards) one reading from the underlying source, so a
+// deterministic generator — the logical clock, the seeded entropy
+// device — is advanced exactly as the recorded run advanced it and the
+// post-prefix readings continue the original sequence.
+//
+// This is the splice a resumed recording needs: the kernel's restore
+// fast-forwards the devices past the prefix (consuming exactly the
+// recorded values, even when the underlying source is not reproducible),
+// and recording continues on the live source — so a run recorded across
+// a checkpoint/resume yields the same log an uninterrupted recording
+// would. Call before Record and before kernel.New.
+func ReplayPrefix(cfg *kernel.Config, prefix *Log) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = kernel.LogicalClock()
+	}
+	pc := replayClock(prefix.Clock)
+	var cmu sync.Mutex
+	ci := 0
+	cfg.Clock = func() int64 {
+		cmu.Lock()
+		i := ci
+		ci++
+		cmu.Unlock()
+		if i < len(prefix.Clock) {
+			clock() // keep the underlying source in step
+			return pc()
+		}
+		return clock()
+	}
+
+	rnd := cfg.Rand
+	if rnd == nil {
+		rnd = kernel.SeededRand(1)
+	}
+	pr := replayRand(prefix.Rand)
+	var rmu sync.Mutex
+	ri := 0
+	cfg.Rand = func() uint64 {
+		rmu.Lock()
+		i := ri
+		ri++
+		rmu.Unlock()
+		if i < len(prefix.Rand) {
+			rnd()
+			return pr()
+		}
+		return rnd()
+	}
+}
+
+// PrefixReader returns a reader that first delivers the log's recorded
+// console input with its recorded chunk boundaries, then continues with
+// in — which should be the run's full input source: the bytes the prefix
+// already covers are skipped, mirroring what ReplayPrefix does for the
+// other devices. in may be nil for EOF after the prefix.
+func (l *Log) PrefixReader(in io.Reader) io.Reader {
+	skip := 0
+	for _, c := range l.Input {
+		skip += len(c)
+	}
+	return io.MultiReader(l.ReplayInput(), &skipReader{in: in, skip: skip})
+}
+
+// skipReader discards the first skip bytes of in, then reads through.
+type skipReader struct {
+	in   io.Reader
+	skip int
+}
+
+func (r *skipReader) Read(p []byte) (int, error) {
+	if r.in == nil {
+		return 0, io.EOF
+	}
+	// Bound the zero-progress (0, nil) reads a non-blocking source may
+	// legally return, so the skip loop cannot spin forever.
+	for empty := 0; r.skip > 0; {
+		n := r.skip
+		if n > len(p) {
+			n = len(p)
+		}
+		got, err := r.in.Read(p[:n])
+		r.skip -= got
+		if err != nil {
+			return 0, err
+		}
+		if got == 0 {
+			if empty++; empty >= 100 {
+				return 0, io.ErrNoProgress
+			}
+		} else {
+			empty = 0
+		}
+	}
+	return r.in.Read(p)
+}
+
 // Record wraps cfg's devices so that every nondeterministic input is
 // captured into the returned Log as the machine consumes it. Call before
 // kernel.New.

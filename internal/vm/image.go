@@ -1,0 +1,360 @@
+package vm
+
+// Checkpoint image encoding: a versioned, canonical serialization of a
+// *forest* of spaces — typically every space's pagemap plus its merge
+// snapshot for a whole kernel space tree.
+//
+// Spaces in this system are not independent byte arrays: pages and whole
+// level-2 tables are shared copy-on-write between a space and its
+// snapshot, between parent and child replicas, and across barrier
+// generations. That sharing is semantically load-bearing — Merge selects
+// pages by identity, Resnap re-shares only diverged tables, CopyFrom
+// skips tables already pointer-shared, and the kernel's virtual-time
+// cost model charges exactly the sharing that must be (re)established.
+// A serialization that materialized each space independently would
+// restore the same bytes but a different identity graph, and a resumed
+// run would charge different virtual times than the uninterrupted one.
+//
+// The encoder therefore serializes the object graph itself: every
+// distinct page and table is emitted once, in the deterministic order of
+// first encounter along a canonical walk (spaces in Add order, level-1
+// slots ascending, level-2 entries ascending), and spaces reference them
+// by index. A space and its snapshot are thus automatically
+// delta-encoded: everything unchanged since the snapshot is one shared
+// table or page reference, and only diverged content carries payload.
+// Dirty bitmaps and the (space, snapshot) identity links are part of the
+// image, so dirty-guided merges, CleanSince proofs and incremental
+// Resnap behave identically after a restore — including the virtual
+// times they charge.
+//
+// The encoding is canonical: identical forest state produces identical
+// bytes, which is what makes golden-file format tests meaningful. The
+// payload is guarded by a version byte (decoders reject newer versions
+// with a typed error) and a CRC32 trailer (corruption and truncation are
+// detected, also with typed errors).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/imgenc"
+)
+
+// ImageVersion is the current forest-image format version. Decoders
+// accept exactly the versions they know how to parse and reject anything
+// newer with *ImageVersionError.
+const ImageVersion = 1
+
+// imageMagic introduces a forest image.
+var imageMagic = [4]byte{'D', 'V', 'M', 'F'}
+
+// ImageFormatError reports a structurally invalid, truncated or
+// corrupted forest image.
+type ImageFormatError struct {
+	Offset int    // byte offset where decoding failed (best effort)
+	Msg    string // what was wrong
+}
+
+func (e *ImageFormatError) Error() string {
+	return fmt.Sprintf("vm: bad image at byte %d: %s", e.Offset, e.Msg)
+}
+
+// ImageVersionError reports an image written by a format version this
+// decoder does not understand.
+type ImageVersionError struct {
+	Version byte // version found in the image
+	Max     byte // newest version this decoder accepts
+}
+
+func (e *ImageVersionError) Error() string {
+	return fmt.Sprintf("vm: image version %d not supported (max %d)", e.Version, e.Max)
+}
+
+// ForestEncoder serializes a set of spaces preserving their full COW
+// sharing graph. Add every space first, then record snapshot links, then
+// Encode. The encoder only reads the spaces; they remain usable.
+type ForestEncoder struct {
+	spaces   []*Space
+	spaceIdx map[*Space]int
+	links    [][2]int // (cur, ref) pairs whose snapshot identity must survive
+}
+
+// NewForestEncoder returns an empty encoder.
+func NewForestEncoder() *ForestEncoder {
+	return &ForestEncoder{spaceIdx: make(map[*Space]int)}
+}
+
+// Add registers a space for encoding and returns its index in the image.
+// Adding the same space twice returns the same index.
+func (e *ForestEncoder) Add(s *Space) int {
+	if i, ok := e.spaceIdx[s]; ok {
+		return i
+	}
+	i := len(e.spaces)
+	e.spaces = append(e.spaces, s)
+	e.spaceIdx[s] = i
+	return i
+}
+
+// LinkSnapshot records that ref is cur's current snapshot (their
+// identity tokens match), so the decoder re-establishes the relationship
+// with a fresh token pair. Calls for pairs whose tokens do not match are
+// ignored — the relationship did not hold, so none is restored.
+func (e *ForestEncoder) LinkSnapshot(cur, ref *Space) {
+	if cur == nil || ref == nil || cur.snapID == 0 || ref.snapOf != cur.snapID {
+		return
+	}
+	ci, ok1 := e.spaceIdx[cur]
+	ri, ok2 := e.spaceIdx[ref]
+	if ok1 && ok2 {
+		e.links = append(e.links, [2]int{ci, ri})
+	}
+}
+
+// Encode serializes the registered forest.
+func (e *ForestEncoder) Encode() []byte {
+	// Pass 1: assign page and table ids in canonical first-encounter order.
+	tableIdx := make(map[*table]int)
+	pageIdx := make(map[*page]int)
+	var tables []*table
+	var pages []*page
+	for _, s := range e.spaces {
+		for _, t := range s.root {
+			if t == nil {
+				continue
+			}
+			if _, ok := tableIdx[t]; ok {
+				continue
+			}
+			tableIdx[t] = len(tables)
+			tables = append(tables, t)
+			for l2 := range t.ptes {
+				pg := t.ptes[l2].pg
+				if pg == nil {
+					continue
+				}
+				if _, ok := pageIdx[pg]; !ok {
+					pageIdx[pg] = len(pages)
+					pages = append(pages, pg)
+				}
+			}
+		}
+	}
+
+	// Pass 2: emit.
+	var b []byte
+	b = append(b, imageMagic[:]...)
+	b = append(b, ImageVersion)
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(pages)))
+	for _, pg := range pages {
+		b = append(b, pg.data[:]...)
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(tables)))
+	for _, t := range tables {
+		n := 0
+		for l2 := range t.ptes {
+			if t.ptes[l2].mapped() {
+				n++
+			}
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(n))
+		for l2 := range t.ptes {
+			pe := t.ptes[l2]
+			if !pe.mapped() {
+				continue
+			}
+			b = binary.LittleEndian.AppendUint16(b, uint16(l2))
+			b = append(b, byte(pe.perm))
+			if pe.pg == nil {
+				b = binary.LittleEndian.AppendUint32(b, 0)
+			} else {
+				b = binary.LittleEndian.AppendUint32(b, uint32(pageIdx[pe.pg]+1))
+			}
+		}
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.spaces)))
+	for _, s := range e.spaces {
+		var flags byte
+		if s.dirtyAll {
+			flags |= 1
+		}
+		b = append(b, flags)
+		n := 0
+		for _, t := range s.root {
+			if t != nil {
+				n++
+			}
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(n))
+		for l1, t := range s.root {
+			if t == nil {
+				continue
+			}
+			b = binary.LittleEndian.AppendUint16(b, uint16(l1))
+			b = binary.LittleEndian.AppendUint32(b, uint32(tableIdx[t]+1))
+		}
+		n = 0
+		for _, db := range s.dirty {
+			if db != nil {
+				n++
+			}
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(n))
+		for l1, db := range s.dirty {
+			if db == nil {
+				continue
+			}
+			b = binary.LittleEndian.AppendUint16(b, uint16(l1))
+			for _, w := range db {
+				b = binary.LittleEndian.AppendUint64(b, w)
+			}
+		}
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.links)))
+	for _, l := range e.links {
+		b = binary.LittleEndian.AppendUint32(b, uint32(l[0]))
+		b = binary.LittleEndian.AppendUint32(b, uint32(l[1]))
+	}
+
+	return imgenc.Seal(b)
+}
+
+// DecodeForest reconstructs the spaces of a forest image, restoring the
+// exact page/table sharing graph, dirty bitmaps, and snapshot identity
+// links (with freshly issued tokens). Corrupt or truncated input returns
+// *ImageFormatError; input from a newer format returns
+// *ImageVersionError.
+func DecodeForest(data []byte) ([]*Space, error) {
+	r, err := imgenc.Open(data, imageMagic, ImageVersion,
+		func(off int, msg string) error { return &ImageFormatError{Offset: off, Msg: msg} },
+		func(v byte) error { return &ImageVersionError{Version: v, Max: ImageVersion} })
+	if err != nil {
+		return nil, err
+	}
+
+	nPages := int(r.U32())
+	if r.Err == nil && nPages*PageSize > len(r.B) {
+		r.Failf("page count %d exceeds image size", nPages)
+	}
+	pages := make([]*page, 0, max(nPages, 0))
+	for i := 0; i < nPages && r.Err == nil; i++ {
+		pg := newPage()
+		pg.refs.Store(0) // references added as ptes adopt the page
+		copy(pg.data[:], r.Take(PageSize))
+		pages = append(pages, pg)
+	}
+
+	nTables := int(r.U32())
+	if r.Err == nil && nTables*3 > len(r.B) {
+		r.Failf("table count %d exceeds image size", nTables)
+	}
+	tables := make([]*table, 0, max(nTables, 0))
+	for i := 0; i < nTables && r.Err == nil; i++ {
+		t := newTable()
+		t.refs.Store(0)
+		n := int(r.U16())
+		for j := 0; j < n && r.Err == nil; j++ {
+			l2 := int(r.U16())
+			perm := Perm(r.U8())
+			pid := int(r.U32())
+			if r.Err != nil {
+				break
+			}
+			if l2 >= tableEntries {
+				r.Failf("pte index %d out of range", l2)
+				break
+			}
+			var pg *page
+			if pid != 0 {
+				if pid > len(pages) {
+					r.Failf("page id %d out of range (%d pages)", pid, len(pages))
+					break
+				}
+				pg = pages[pid-1]
+				pg.refs.Add(1)
+			}
+			t.ptes[l2] = pte{pg: pg, perm: perm}
+		}
+		tables = append(tables, t)
+	}
+
+	nSpaces := int(r.U32())
+	if r.Err == nil && nSpaces > len(r.B) {
+		r.Failf("space count %d exceeds image size", nSpaces)
+	}
+	spaces := make([]*Space, 0, max(nSpaces, 0))
+	for i := 0; i < nSpaces && r.Err == nil; i++ {
+		s := NewSpace()
+		s.dirtyAll = r.U8()&1 != 0
+		n := int(r.U16())
+		for j := 0; j < n && r.Err == nil; j++ {
+			l1 := int(r.U16())
+			tid := int(r.U32())
+			if r.Err != nil {
+				break
+			}
+			if l1 >= tableEntries || tid == 0 || tid > len(tables) {
+				r.Failf("root slot %d -> table %d out of range", l1, tid)
+				break
+			}
+			s.root[l1] = tables[tid-1]
+			tables[tid-1].refs.Add(1)
+		}
+		n = int(r.U16())
+		for j := 0; j < n && r.Err == nil; j++ {
+			l1 := int(r.U16())
+			if r.Err != nil {
+				break
+			}
+			if l1 >= tableEntries {
+				r.Failf("dirty slot %d out of range", l1)
+				break
+			}
+			db := new(dirtyBits)
+			for w := range db {
+				db[w] = r.U64()
+			}
+			s.dirty[l1] = db
+		}
+		spaces = append(spaces, s)
+	}
+
+	nLinks := int(r.U32())
+	if r.Err == nil && nLinks*8 > len(r.B) {
+		r.Failf("link count %d exceeds image size", nLinks)
+	}
+	for i := 0; i < nLinks && r.Err == nil; i++ {
+		ci := int(r.U32())
+		ri := int(r.U32())
+		if r.Err != nil {
+			break
+		}
+		if ci >= len(spaces) || ri >= len(spaces) {
+			r.Failf("snapshot link %d -> %d out of range", ci, ri)
+			break
+		}
+		id := snapshotIDs.Add(1)
+		spaces[ci].snapID = id
+		spaces[ri].snapOf = id
+	}
+	if r.Err == nil && r.Remaining() != 0 {
+		r.Failf("%d trailing bytes", r.Remaining())
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	// Every restored object needs at least one reference for the Free
+	// accounting to balance; unreferenced pages/tables (possible only in
+	// hand-built images) are simply dropped.
+	for _, t := range tables {
+		if t.refs.Load() == 0 {
+			t.refs.Store(1)
+			releaseTable(t)
+		}
+	}
+	return spaces, nil
+}

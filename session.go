@@ -1,0 +1,618 @@
+package repro
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dsched"
+	"repro/internal/imgenc"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// A Session is the library's coherent entry point: one builder that
+// composes everything the historical free functions configured
+// separately — the machine (kernel.Config), the runtime (shared-region
+// size, flat vs sharded-tree collection), the deterministic scheduler's
+// configuration, console I/O, and trace record/replay — and the home of
+// deterministic checkpoint/restore.
+//
+// A Session does not own a running machine; it is a validated
+// configuration plus the run entry points. Each Run* call builds a fresh
+// machine, which is what makes "resume in a fresh process" and "run the
+// same program twice" the same operation.
+//
+// # Checkpoint/restore
+//
+// Programs that want mid-run persistence are written phased (Program):
+// an explicit sequence of barrier-delimited phases, each of which forks,
+// joins and barriers as it pleases but returns with every thread
+// collected. At any phase barrier the Session can capture an Image — a
+// versioned serialization of the entire space tree (memory, snapshots,
+// COW sharing, dirty tracking), every space's virtual time, instruction
+// and traffic counters, the device cursors, the runtime's allocator and
+// placement state, the scheduler state the program stashes, and (when
+// recording) the trace log so far. Resuming the Image in a fresh Session
+// — or a fresh process — continues the run bit-identically: final
+// checksums, conflict reports and virtual times equal the uninterrupted
+// run's. Checkpointing is itself a pure observation: a run that captures
+// images is bit-identical to one that does not.
+type Session struct {
+	cfg SessionConfig
+
+	// mu serializes the Run* entry points and guards the per-run fields
+	// below: a Session is reusable run after run, but one run at a time —
+	// concurrent runs would cross-wire trace splicing and checkpoint
+	// collection. Concurrency belongs inside a run (the machine), not
+	// across runs of one Session; use separate Sessions to run in
+	// parallel.
+	mu sync.Mutex
+
+	// log is the live recording of the most recent Run* call (Record
+	// mode); prefix is the already-recorded log a resumed session splices
+	// in front of it.
+	log    *TraceLog
+	prefix *TraceLog
+
+	checkpoints []*Image
+}
+
+// SessionConfig is the unified configuration a Session is built from.
+// The zero value is a valid single-node deterministic machine with
+// default cost model, shared-region size and scheduler quantum.
+type SessionConfig struct {
+	// Machine configures the simulated machine (nodes, CPUs, cost model,
+	// merge workers). Machine.Console must be nil when Input/Output are
+	// set; the session builds the console.
+	Machine MachineConfig
+	// SharedSize is the private-workspace shared region size (0 selects
+	// the default 64 MiB).
+	SharedSize uint64
+	// TreeJoin collects threads through the sharded per-node barrier
+	// tree instead of the flat collector.
+	TreeJoin bool
+	// Sched is the deterministic-scheduler configuration used by
+	// Session.NewSched.
+	Sched SchedConfig
+	// Record captures every nondeterministic device input of each run
+	// into the log returned by TraceLog.
+	Record bool
+	// Replay drives the devices from a previously recorded log instead
+	// of the configured sources. Mutually exclusive with Record.
+	Replay *TraceLog
+	// Input / Output are the console streams.
+	Input  io.Reader
+	Output io.Writer
+	// CheckpointAfter lists phase barriers at which RunProgram captures
+	// an Image while continuing to run: the value k means "after the
+	// first k phases" (1 <= k <= Phases). Captured images are available
+	// from Checkpoints.
+	CheckpointAfter []int
+}
+
+// SessionOption mutates a SessionConfig under construction.
+type SessionOption func(*SessionConfig)
+
+// WithMachine sets the machine configuration.
+func WithMachine(m MachineConfig) SessionOption {
+	return func(c *SessionConfig) { c.Machine = m }
+}
+
+// WithSharedSize sets the shared-region size.
+func WithSharedSize(n uint64) SessionOption {
+	return func(c *SessionConfig) { c.SharedSize = n }
+}
+
+// WithTreeJoin selects sharded-tree collection.
+func WithTreeJoin(on bool) SessionOption {
+	return func(c *SessionConfig) { c.TreeJoin = on }
+}
+
+// WithSched sets the deterministic-scheduler configuration template.
+func WithSched(cfg SchedConfig) SessionOption {
+	return func(c *SessionConfig) { c.Sched = cfg }
+}
+
+// WithRecord enables trace recording.
+func WithRecord() SessionOption {
+	return func(c *SessionConfig) { c.Record = true }
+}
+
+// WithReplay replays a recorded trace log.
+func WithReplay(l *TraceLog) SessionOption {
+	return func(c *SessionConfig) { c.Replay = l }
+}
+
+// WithConsole sets the console streams.
+func WithConsole(in io.Reader, out io.Writer) SessionOption {
+	return func(c *SessionConfig) { c.Input, c.Output = in, out }
+}
+
+// WithCheckpointAfter requests an Image capture at the named phase
+// barriers (k means after the first k phases) while the run continues.
+func WithCheckpointAfter(phases ...int) SessionOption {
+	return func(c *SessionConfig) { c.CheckpointAfter = append(c.CheckpointAfter, phases...) }
+}
+
+// ConfigError reports an invalid session or facade configuration value.
+// The historical free-function constructors replaced such values with
+// silent defaults; the Session path rejects them.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return fmt.Sprintf("repro: config %s: %s", e.Field, e.Reason) }
+
+// maxSharedSize bounds the shared region: it must fit between SharedBase
+// and the top of the 32-bit address space.
+const maxSharedSize = uint64(1<<32) - uint64(core.SharedBase)
+
+// NewSession builds a Session from functional options.
+func NewSession(opts ...SessionOption) (*Session, error) {
+	var cfg SessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewSessionFromConfig(cfg)
+}
+
+// NewSessionFromConfig builds a Session from a unified configuration,
+// validating it: values the legacy constructors silently replaced with
+// defaults are rejected with *ConfigError (zero values still select the
+// documented defaults).
+func NewSessionFromConfig(cfg SessionConfig) (*Session, error) {
+	if cfg.Machine.Nodes < 0 {
+		return nil, &ConfigError{Field: "Machine.Nodes", Reason: fmt.Sprintf("negative node count %d", cfg.Machine.Nodes)}
+	}
+	if cfg.Machine.CPUsPerNode < 0 {
+		return nil, &ConfigError{Field: "Machine.CPUsPerNode", Reason: fmt.Sprintf("negative CPU count %d", cfg.Machine.CPUsPerNode)}
+	}
+	if cfg.Machine.MergeWorkers < 0 {
+		return nil, &ConfigError{Field: "Machine.MergeWorkers", Reason: fmt.Sprintf("negative worker count %d", cfg.Machine.MergeWorkers)}
+	}
+	if cfg.SharedSize > maxSharedSize {
+		return nil, &ConfigError{Field: "SharedSize", Reason: fmt.Sprintf("%d exceeds the %d-byte address space above the shared base", cfg.SharedSize, maxSharedSize)}
+	}
+	if err := cfg.Sched.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Record && cfg.Replay != nil {
+		return nil, &ConfigError{Field: "Record/Replay", Reason: "mutually exclusive"}
+	}
+	if cfg.Machine.Console != nil && (cfg.Input != nil || cfg.Output != nil || cfg.Record || cfg.Replay != nil) {
+		return nil, &ConfigError{Field: "Machine.Console", Reason: "set Input/Output on the session instead of supplying a console"}
+	}
+	for _, k := range cfg.CheckpointAfter {
+		if k < 1 {
+			return nil, &ConfigError{Field: "CheckpointAfter", Reason: fmt.Sprintf("barrier index %d (must be >= 1)", k)}
+		}
+	}
+	return &Session{cfg: cfg}, nil
+}
+
+// Config returns the session's validated configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// TraceLog returns the trace recorded by the most recent Run* call
+// (Record mode only). For a run resumed from a checkpoint the log is
+// complete, not a suffix: the restore re-records the image's prefix
+// while fast-forwarding the devices, so the result is bit-identical to
+// the log an uninterrupted recording would have produced.
+func (s *Session) TraceLog() *TraceLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
+}
+
+// Checkpoints returns the images captured by the most recent RunProgram
+// (via CheckpointAfter), in capture order.
+func (s *Session) Checkpoints() []*Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpoints
+}
+
+// NewSched builds a deterministic scheduler from the session's scheduler
+// configuration for a runtime created inside one of this session's runs.
+func (s *Session) NewSched(rt *RT) (*Sched, error) {
+	return dsched.NewChecked(rt, s.cfg.Sched)
+}
+
+// deviceConfig materializes the kernel configuration for one run:
+// console plumbing, replay, resume-splicing and recording, in that
+// wrapping order.
+func (s *Session) deviceConfig() MachineConfig {
+	cfg := s.cfg.Machine
+	input := s.cfg.Input
+	if s.cfg.Replay != nil {
+		trace.Replay(&cfg, s.cfg.Replay)
+		if len(s.cfg.Replay.Input) > 0 {
+			input = s.cfg.Replay.ReplayInput()
+		}
+	}
+	if s.prefix != nil {
+		// Resuming a recorded run: the first reads of each device replay
+		// the recorded prefix (consumed by the restore's fast-forward),
+		// then reads fall through to the live sources.
+		trace.ReplayPrefix(&cfg, s.prefix)
+		input = s.prefix.PrefixReader(input)
+	}
+	if s.cfg.Record {
+		s.log = trace.Record(&cfg)
+		if input != nil {
+			input = s.log.RecordInput(input)
+		}
+	}
+	if input != nil || s.cfg.Output != nil {
+		cfg.Console = kernel.NewConsole(input, s.cfg.Output)
+	}
+	return cfg
+}
+
+// Run executes main as a deterministic parallel program on a fresh
+// machine built from the session configuration — the Session form of the
+// package-level Run.
+func (s *Session) Run(main func(rt *RT) uint64) RunResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := kernel.New(s.deviceConfig())
+	return m.Run(func(env *kernel.Env) {
+		rt := core.New(env, s.cfg.SharedSize)
+		rt.SetTreeJoin(s.cfg.TreeJoin)
+		env.SetRet(main(rt))
+	}, 0)
+}
+
+// Program is a phased deterministic program: the checkpointable form.
+// All cross-phase state must live in the shared region (or in the
+// sections Snapshot stashes); Go-side variables do not survive a resume.
+type Program struct {
+	// Phases is the number of barrier-delimited phases.
+	Phases int
+	// Layout replays the program's deterministic allocation sequence.
+	// It runs before Init on a fresh start and again on every resume —
+	// allocation is a pure bump pointer, so re-running it re-derives the
+	// addresses Alloc handed out before the checkpoint. It must not read
+	// or write memory, fork, or depend on anything but rt.Alloc order.
+	Layout func(rt *RT)
+	// Init writes the program's initial state. Fresh starts only.
+	Init func(rt *RT)
+	// Phase runs one barrier-delimited phase: fork/join/barrier freely,
+	// but return with every thread collected. An error aborts the run.
+	Phase func(rt *RT, phase int) error
+	// Result computes the program's result after the last phase.
+	Result func(rt *RT) uint64
+	// Snapshot, if non-nil, contributes named sections to each captured
+	// Image (e.g. a scheduler's exported state). It must not mutate
+	// anything: a checkpointing run must stay bit-identical to an
+	// uninterrupted one.
+	Snapshot func(rt *RT) map[string][]byte
+	// Restore, if non-nil, receives the image's sections on resume,
+	// after Layout and before the first resumed phase.
+	Restore func(rt *RT, sections map[string][]byte) error
+}
+
+// ProgramError reports a phased-program structural problem (rather than
+// an error from the program's own phases).
+type ProgramError struct{ Msg string }
+
+func (e *ProgramError) Error() string { return "repro: program: " + e.Msg }
+
+// RunProgram runs all phases of p on a fresh machine, capturing images
+// at the configured CheckpointAfter barriers (available from
+// Checkpoints afterwards). It returns the machine result and the first
+// program error (phase error, conflict, crash) if any.
+func (s *Session) RunProgram(p Program) (RunResult, error) {
+	return s.runPhased(p, nil, 0)
+}
+
+// RunToCheckpoint runs the first afterPhases phases of p, captures an
+// Image at that barrier, and halts the machine. Resume continues from
+// the image.
+func (s *Session) RunToCheckpoint(p Program, afterPhases int) (*Image, error) {
+	if afterPhases < 1 || afterPhases > p.Phases {
+		return nil, &ProgramError{Msg: fmt.Sprintf("checkpoint barrier %d outside [1,%d]", afterPhases, p.Phases)}
+	}
+	_, err := s.runPhased(p, nil, afterPhases)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.checkpoints)
+	if n == 0 {
+		return nil, &ProgramError{Msg: "run ended before the checkpoint barrier"}
+	}
+	return s.checkpoints[n-1], nil
+}
+
+// Resume continues p from a previously captured image on a fresh
+// machine — typically in a fresh session or process. The session
+// configuration must match the one the image was captured under
+// (machine shape and cost model are validated against the image). The
+// result is bit-identical to the uninterrupted run's: same checksums,
+// same conflict report, same virtual time.
+func (s *Session) Resume(img *Image, p Program) (RunResult, error) {
+	return s.runPhased(p, img, 0)
+}
+
+// runPhased is the shared phased runner. img selects resume; stopAfter
+// (when > 0) checkpoints at that barrier and halts.
+func (s *Session) runPhased(p Program, img *Image, stopAfter int) (RunResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.Phases < 0 || (p.Phases > 0 && p.Phase == nil) {
+		return RunResult{}, &ProgramError{Msg: "Phase function missing"}
+	}
+	wantCk := make(map[int]bool, len(s.cfg.CheckpointAfter))
+	for _, k := range s.cfg.CheckpointAfter {
+		if k > p.Phases {
+			// k >= 1 was validated at session construction; the phase
+			// bound is only known here. Silently ignoring the request
+			// would report "no checkpoints" as success.
+			return RunResult{}, &ProgramError{Msg: fmt.Sprintf(
+				"CheckpointAfter barrier %d outside the program's %d phases", k, p.Phases)}
+		}
+		wantCk[k] = true
+	}
+	if stopAfter > 0 {
+		wantCk[stopAfter] = true
+	}
+	s.checkpoints = nil
+	if img != nil {
+		s.prefix = img.TracePrefix
+		defer func() { s.prefix = nil }()
+	}
+
+	m := kernel.New(s.deviceConfig())
+	start := 0
+	if img != nil {
+		if err := m.Restore(img.Kernel); err != nil {
+			return RunResult{}, err
+		}
+		start = img.Phase
+		if start > p.Phases {
+			return RunResult{}, &ProgramError{Msg: fmt.Sprintf("image resumes at phase %d of a %d-phase program", start, p.Phases)}
+		}
+	}
+
+	var progErr error
+	var images []*Image
+	res := m.Run(func(env *kernel.Env) {
+		var rt *RT
+		if img != nil {
+			var err error
+			rt, err = core.Attach(env, img.RT, p.Layout)
+			if err != nil {
+				progErr = err
+				return
+			}
+			if p.Restore != nil {
+				if err := p.Restore(rt, img.User); err != nil {
+					progErr = err
+					return
+				}
+			}
+		} else {
+			rt = core.New(env, s.cfg.SharedSize)
+			rt.SetTreeJoin(s.cfg.TreeJoin)
+			if p.Layout != nil {
+				p.Layout(rt)
+			}
+			if p.Init != nil {
+				p.Init(rt)
+			}
+		}
+		for ph := start; ph < p.Phases; ph++ {
+			if err := p.Phase(rt, ph); err != nil {
+				progErr = err
+				return
+			}
+			if wantCk[ph+1] {
+				im, err := s.capture(env, rt, p, ph+1)
+				if err != nil {
+					progErr = err
+					return
+				}
+				images = append(images, im)
+				if stopAfter == ph+1 {
+					return
+				}
+			}
+		}
+		if p.Result != nil {
+			env.SetRet(p.Result(rt))
+		}
+	}, 0)
+	s.checkpoints = images
+	return res, progErr
+}
+
+// capture takes one checkpoint at a phase barrier: the kernel image of
+// the whole space tree plus the runtime, program and trace state.
+func (s *Session) capture(env *Env, rt *RT, p Program, resumePhase int) (*Image, error) {
+	kimg, err := env.Checkpoint(kernel.CheckpointOpts{AllowParked: rt.DelegateRefs()})
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{Phase: resumePhase, RT: rt.ExportState(), Kernel: kimg}
+	if p.Snapshot != nil {
+		im.User = p.Snapshot(rt)
+	}
+	if s.cfg.Record && s.log != nil {
+		im.TracePrefix = s.log.Clone()
+	}
+	return im, nil
+}
+
+// --- checkpoint images --------------------------------------------------------
+
+// Image is one captured checkpoint: everything a fresh process needs to
+// continue the run bit-identically. Serialize with Bytes, reload with
+// DecodeImage.
+type Image struct {
+	// Phase is the phase index the resumed run continues at.
+	Phase int
+	// RT is the runtime bookkeeping (allocator cursor, placements,
+	// collection mode).
+	RT core.RTState
+	// User holds the sections Program.Snapshot contributed.
+	User map[string][]byte
+	// TracePrefix is the trace recorded up to the checkpoint (Record
+	// mode only): the part of the log a resumed recording splices in
+	// front of its own.
+	TracePrefix *TraceLog
+	// Kernel is the machine image: the whole space tree, counters and
+	// device cursors.
+	Kernel []byte
+}
+
+// ImageVersion is the session-image format version. The kernel section
+// carries its own version (kernel.CheckpointVersion).
+const ImageVersion = 1
+
+var imageMagic = [4]byte{'D', 'S', 'E', 'S'}
+
+// ImageError reports a structurally invalid session image.
+type ImageError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ImageError) Error() string {
+	return fmt.Sprintf("repro: bad session image at byte %d: %s", e.Offset, e.Msg)
+}
+
+// Bytes serializes the image. The encoding is canonical: the same image
+// state always produces the same bytes.
+func (im *Image) Bytes() ([]byte, error) {
+	var b []byte
+	b = append(b, imageMagic[:]...)
+	b = append(b, ImageVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(im.Phase))
+
+	b = binary.LittleEndian.AppendUint32(b, im.RT.Base)
+	b = binary.LittleEndian.AppendUint64(b, im.RT.Size)
+	b = binary.LittleEndian.AppendUint32(b, im.RT.Next)
+	var tj byte
+	if im.RT.TreeJoin {
+		tj = 1
+	}
+	b = append(b, tj)
+	ids := make([]int, 0, len(im.RT.Placed))
+	for id := range im.RT.Placed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(im.RT.Placed[id])))
+	}
+
+	names := make([]string, 0, len(im.User))
+	for n := range im.User {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(names)))
+	for _, n := range names {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(n)))
+		b = append(b, n...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(im.User[n])))
+		b = append(b, im.User[n]...)
+	}
+
+	if im.TracePrefix != nil {
+		tb, err := json.Marshal(im.TracePrefix)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(tb)))
+		b = append(b, tb...)
+	} else {
+		b = append(b, 0)
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(im.Kernel)))
+	b = append(b, im.Kernel...)
+	return imgenc.Seal(b), nil
+}
+
+// DecodeImage parses a serialized session image. Corrupt or truncated
+// input returns *ImageError; a newer format version returns
+// *kernel.ImageVersionError-style typed errors from the embedded
+// sections or *ImageError here.
+func DecodeImage(data []byte) (*Image, error) {
+	r, err := imgenc.Open(data, imageMagic, ImageVersion,
+		func(off int, msg string) error { return &ImageError{Offset: off, Msg: msg} },
+		func(v byte) error {
+			return &ImageError{Offset: 4, Msg: fmt.Sprintf("image version %d not supported (max %d)", v, ImageVersion)}
+		})
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{}
+	im.Phase = int(r.U32())
+	im.RT.Base = r.U32()
+	im.RT.Size = r.U64()
+	im.RT.Next = r.U32()
+	im.RT.TreeJoin = r.U8() != 0
+	nPlaced := int(r.U32())
+	if r.Err == nil && nPlaced*16 > len(r.B) {
+		r.Failf("placement count %d exceeds image", nPlaced)
+	}
+	for i := 0; i < nPlaced && r.Err == nil; i++ {
+		id := int(int64(r.U64()))
+		node := int(int64(r.U64()))
+		if im.RT.Placed == nil {
+			im.RT.Placed = make(map[int]int)
+		}
+		im.RT.Placed[id] = node
+	}
+	nUser := int(r.U32())
+	if r.Err == nil && nUser > len(r.B) {
+		r.Failf("section count %d exceeds image", nUser)
+	}
+	for i := 0; i < nUser && r.Err == nil; i++ {
+		name := r.Str()
+		body := r.Take(int(r.U32()))
+		if r.Err != nil {
+			break
+		}
+		if im.User == nil {
+			im.User = make(map[string][]byte)
+		}
+		im.User[name] = append([]byte(nil), body...)
+	}
+	if r.U8() != 0 {
+		tb := r.Take(int(r.U32()))
+		if r.Err == nil {
+			l, err := trace.Unmarshal(tb)
+			if err != nil {
+				return nil, &ImageError{Offset: r.Off, Msg: fmt.Sprintf("trace prefix: %v", err)}
+			}
+			im.TracePrefix = l
+		}
+	}
+	im.Kernel = append([]byte(nil), r.Take(int(r.U32()))...)
+	if r.Err == nil && r.Remaining() != 0 {
+		r.Failf("%d trailing bytes", r.Remaining())
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return im, nil
+}
+
+// AttachSched rebuilds a deterministic scheduler from state exported by
+// Sched.ExportState — the Program.Restore-side pair of stashing the
+// scheduler in a checkpoint image (see SchedState).
+func AttachSched(rt *RT, cfg SchedConfig, st SchedState) (*Sched, error) {
+	return dsched.AttachState(rt, cfg, st)
+}
