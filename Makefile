@@ -4,9 +4,9 @@
 GO ?= go
 
 # Output of `make bench-json`: override per PR / per CI run, e.g.
-# `make bench-json BENCH_OUT=BENCH_pr5.json`. CI uploads the file as a
+# `make bench-json BENCH_OUT=BENCH_pr6.json`. CI uploads the file as a
 # build artifact so the perf trajectory is downloadable per run.
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
 .PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck ci
 

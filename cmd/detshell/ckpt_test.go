@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// ckpt runs one save or resume against dir, feeding script to stdin,
+// and returns the console output.
+func ckpt(t *testing.T, dir, verb, script string) string {
+	t.Helper()
+	store, err := repro.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	switch verb {
+	case "save":
+		err = ckptSave(store, dir, strings.NewReader(script), &out)
+	case "resume":
+		err = ckptResume(store, dir, strings.NewReader(script), &out)
+	default:
+		t.Fatalf("bad verb %q", verb)
+	}
+	if err != nil {
+		t.Fatalf("ckpt %s: %v", verb, err)
+	}
+	return out.String()
+}
+
+func TestCkptSaveResume(t *testing.T) {
+	dir := t.TempDir()
+	if out := ckpt(t, dir, "save", "write f hello world\nappend log one\n"); out != "" {
+		t.Errorf("save output = %q, want none", out)
+	}
+	out := ckpt(t, dir, "resume", "append log two\ncat f\ncat log\n")
+	if out != "hello world\none\ntwo\n" {
+		t.Errorf("first resume output = %q", out)
+	}
+	// A resume with no new lines just replays nothing: all prior output
+	// was flushed at its own barrier.
+	if out := ckpt(t, dir, "resume", ""); out != "" {
+		t.Errorf("empty resume output = %q, want none", out)
+	}
+	// The chain head advanced: a further resume sees both appends.
+	if out := ckpt(t, dir, "resume", "cat log\n"); out != "one\ntwo\n" {
+		t.Errorf("second resume output = %q", out)
+	}
+}
+
+func TestCkptManifestChains(t *testing.T) {
+	dir := t.TempDir()
+	ckpt(t, dir, "save", "write f seed\n")
+	ckpt(t, dir, "resume", "append l x\n")
+	ckpt(t, dir, "resume", "append l y\n")
+
+	store, err := repro.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := repro.ParseChunkKey(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.LoadManifest(store, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq() != 2 {
+		t.Errorf("chain head seq = %d, want 2", m.Seq())
+	}
+	depth := 0
+	for {
+		parent, ok := m.Parent()
+		if !ok {
+			break
+		}
+		depth++
+		if m, err = repro.LoadManifest(store, parent); err != nil {
+			t.Fatalf("walking chain: %v", err)
+		}
+	}
+	if depth != 2 {
+		t.Errorf("chain depth = %d, want 2 (save + two resumes)", depth)
+	}
+}
+
+func TestCkptSaveEmptyScriptFails(t *testing.T) {
+	dir := t.TempDir()
+	store, err := repro.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckptSave(store, dir, strings.NewReader("# only a comment\n"), &strings.Builder{}); err == nil {
+		t.Fatal("save of empty script succeeded, want error")
+	}
+}

@@ -9,6 +9,12 @@
 //	echo hello | go run ./cmd/detshell
 //	go run ./cmd/detshell < script.sh
 //
+// A script can also run as a checkpointable phased program against a
+// content-addressed store on disk, one phase per line (see ckpt.go):
+//
+//	go run ./cmd/detshell ckpt save DIR < part1.sh
+//	go run ./cmd/detshell ckpt resume DIR < part2.sh
+//
 // Commands: echo, cat, wc, ls, write FILE TEXT..., append FILE TEXT...,
 // rm FILE, stat FILE, par N CMD... (N copies in parallel), crack PREFIX,
 // help, exit. Redirection: CMD ... > FILE. Like the paper's shell, 'ps'
@@ -28,6 +34,9 @@ import (
 )
 
 func main() {
+	if args := os.Args[1:]; len(args) > 0 && args[0] == "ckpt" {
+		os.Exit(ckptMain(args[1:]))
+	}
 	reg := uproc.NewRegistry()
 	registerCommands(reg)
 	reg.Register("sh", shellMain)

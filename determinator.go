@@ -71,6 +71,7 @@
 package repro
 
 import (
+	"repro/internal/castore"
 	"repro/internal/core"
 	"repro/internal/dsched"
 	"repro/internal/fs"
@@ -121,6 +122,47 @@ type (
 	ImageMismatchError = kernel.ImageMismatchError
 )
 
+// Content-addressed checkpoint store (see Session.SaveTo/ResumeFrom).
+type (
+	// BlobStore is the pluggable chunk-store interface SaveTo targets.
+	BlobStore = castore.BlobStore
+	// ChunkStore extends BlobStore with enumeration and deletion — what
+	// garbage collection needs.
+	ChunkStore = castore.Store
+	// ChunkKey is a chunk's SHA-256 content key.
+	ChunkKey = castore.Key
+	// MemStore is the in-memory chunk store.
+	MemStore = castore.MemStore
+	// DirStore is the on-disk (loose-object directory) chunk store.
+	DirStore = castore.DirStore
+	// BlobInfo describes one stored chunk.
+	BlobInfo = castore.BlobInfo
+	// StoreStats summarizes a chunk store's contents and traffic.
+	StoreStats = castore.StoreStats
+	// CollectStats reports one garbage collection run.
+	CollectStats = castore.CollectStats
+	// ChunkMissingError reports a referenced chunk absent from a store.
+	ChunkMissingError = castore.ChunkMissingError
+	// ChunkHashError reports a chunk whose bytes no longer match its key.
+	ChunkHashError = castore.ChunkHashError
+)
+
+// NewMemStore returns an empty in-memory chunk store.
+func NewMemStore() *MemStore { return castore.NewMemStore() }
+
+// OpenDirStore opens (creating if needed) an on-disk chunk store.
+func OpenDirStore(dir string) (*DirStore, error) { return castore.OpenDirStore(dir) }
+
+// ParseChunkKey parses a hex chunk key (as printed by ChunkKey.String).
+func ParseChunkKey(s string) (ChunkKey, error) { return castore.ParseKey(s) }
+
+// CollectChunks removes every chunk in s not reachable from the given
+// roots (manifest keys, typically the newest manifest of each chain to
+// keep). A missing or damaged root aborts before anything is deleted.
+func CollectChunks(s ChunkStore, roots ...ChunkKey) (CollectStats, error) {
+	return castore.Collect(s, roots)
+}
+
 // Private workspace threading (the paper's primary contribution).
 type (
 	// RT is the user-level runtime: fork/join, barriers, allocation.
@@ -144,6 +186,11 @@ type (
 	Registry = uproc.Registry
 	// BootConfig configures a process-tree boot.
 	BootConfig = uproc.BootConfig
+	// UprocInitState is the init process's Go-side checkpoint state.
+	UprocInitState = uproc.InitState
+	// UprocStateError reports init-process state that cannot cross a
+	// checkpoint image (uncollected children, live shadows).
+	UprocStateError = uproc.StateError
 )
 
 // Supporting layers.

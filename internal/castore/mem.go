@@ -1,0 +1,118 @@
+package castore
+
+import "sync"
+
+// MemStore is the in-memory BlobStore backend: a map of codec-encoded
+// chunks guarded by a mutex. It is the store of choice for tests, for
+// benches, and for session eviction inside one process.
+type MemStore struct {
+	mu     sync.Mutex
+	chunks map[Key][]byte // codec-encoded
+	sizes  map[Key]int    // uncompressed sizes
+	stats  StoreStats
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{chunks: make(map[Key][]byte), sizes: make(map[Key]int)}
+}
+
+// Put stores b under key (idempotent).
+func (s *MemStore) Put(key Key, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	s.stats.PutBytes += int64(len(b))
+	if _, ok := s.chunks[key]; ok {
+		s.stats.DupPuts++
+		return nil
+	}
+	s.chunks[key] = encodeBlob(b)
+	s.sizes[key] = len(b)
+	return nil
+}
+
+// Get returns the chunk's uncompressed bytes, verifying their hash.
+func (s *MemStore) Get(key Key) ([]byte, error) {
+	s.mu.Lock()
+	enc, ok := s.chunks[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &ChunkMissingError{Key: key}
+	}
+	b, err := decodeBlob(key, enc)
+	if err != nil {
+		return nil, err
+	}
+	return verifyGet(key, b)
+}
+
+// Has reports whether the store holds key.
+func (s *MemStore) Has(key Key) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.chunks[key]
+	return ok, nil
+}
+
+// Stat describes one chunk.
+func (s *MemStore) Stat(key Key) (BlobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc, ok := s.chunks[key]
+	if !ok {
+		return BlobInfo{}, &ChunkMissingError{Key: key}
+	}
+	return BlobInfo{Size: s.sizes[key], StoredSize: len(enc)}, nil
+}
+
+// Keys enumerates the held chunks.
+func (s *MemStore) Keys(fn func(Key, BlobInfo) error) error {
+	s.mu.Lock()
+	snapshot := make(map[Key]BlobInfo, len(s.chunks))
+	for k, enc := range s.chunks {
+		snapshot[k] = BlobInfo{Size: s.sizes[k], StoredSize: len(enc)}
+	}
+	s.mu.Unlock()
+	for k, info := range snapshot {
+		if err := fn(k, info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a chunk (no-op when absent).
+func (s *MemStore) Delete(key Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.chunks, key)
+	delete(s.sizes, key)
+	return nil
+}
+
+// Stats summarizes contents and traffic.
+func (s *MemStore) Stats() (StoreStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Chunks = len(s.chunks)
+	for k, enc := range s.chunks {
+		st.LogicalSize += int64(s.sizes[k])
+		st.StoredSize += int64(len(enc))
+	}
+	return st, nil
+}
+
+// Corrupt overwrites the stored (encoded) form of a chunk in place,
+// bypassing the codec — a test hook for corruption-injection tests.
+// It reports whether the key was present.
+func (s *MemStore) Corrupt(key Key, stored []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.chunks[key]; !ok {
+		return false
+	}
+	s.chunks[key] = append([]byte(nil), stored...)
+	return true
+}

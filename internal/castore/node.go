@@ -1,0 +1,130 @@
+package castore
+
+// Node framing: the one structured object shape the store understands.
+// A node is a reference list — child nodes and leaf chunks by key — plus
+// an opaque, layer-owned payload. Checkpoint roots and session manifests
+// are nodes; pages, table chunks and metadata sections are leaves.
+//
+// Putting the reference lists in a standard frame buys two things: the
+// garbage collector can trace reachability through any object graph
+// without knowing the payload formats, and payloads can refer to their
+// own leaf children by small index instead of repeating 32-byte keys.
+// Every node carries a CRC32 trailer, so a manifest or root damaged
+// outside the store (e.g. a MANIFEST file edited on disk) is rejected
+// with a typed error instead of decoding into garbage references.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// nodeMagic introduces a framed node object.
+var nodeMagic = [4]byte{'C', 'A', 'N', '1'}
+
+// NodeFormatError reports a structurally invalid, truncated or
+// corrupted node object.
+type NodeFormatError struct {
+	Msg string
+}
+
+func (e *NodeFormatError) Error() string { return "castore: bad node: " + e.Msg }
+
+// Node is a decoded node object.
+type Node struct {
+	NodeRefs []Key  // children that are themselves nodes
+	LeafRefs []Key  // children that are raw chunks
+	Payload  []byte // layer-owned bytes (may index LeafRefs)
+}
+
+// BuildNode frames a node object. The returned bytes are what gets
+// stored (and hashed into the node's key).
+func BuildNode(nodeRefs, leafRefs []Key, payload []byte) []byte {
+	b := make([]byte, 0, 4+1+8+KeySize*(len(nodeRefs)+len(leafRefs))+4+len(payload)+4)
+	b = append(b, nodeMagic[:]...)
+	b = append(b, 1) // version
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(nodeRefs)))
+	for _, k := range nodeRefs {
+		b = append(b, k[:]...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(leafRefs)))
+	for _, k := range leafRefs {
+		b = append(b, k[:]...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return append(b, binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(b))...)
+}
+
+// ParseNode decodes a framed node object, verifying magic, version and
+// the CRC trailer.
+func ParseNode(data []byte) (*Node, error) {
+	if len(data) < 4+1+4+4+4+4 {
+		return nil, &NodeFormatError{Msg: "short object"}
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
+		return nil, &NodeFormatError{Msg: "checksum mismatch"}
+	}
+	if string(payload[:4]) != string(nodeMagic[:]) {
+		return nil, &NodeFormatError{Msg: "bad magic"}
+	}
+	if payload[4] != 1 {
+		return nil, &NodeFormatError{Msg: fmt.Sprintf("version %d not supported", payload[4])}
+	}
+	off := 5
+	readKeys := func() ([]Key, bool) {
+		if off+4 > len(payload) {
+			return nil, false
+		}
+		n := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if n < 0 || off+n*KeySize > len(payload) {
+			return nil, false
+		}
+		keys := make([]Key, n)
+		for i := range keys {
+			copy(keys[i][:], payload[off:off+KeySize])
+			off += KeySize
+		}
+		return keys, true
+	}
+	n := &Node{}
+	var ok bool
+	if n.NodeRefs, ok = readKeys(); !ok {
+		return nil, &NodeFormatError{Msg: "truncated node refs"}
+	}
+	if n.LeafRefs, ok = readKeys(); !ok {
+		return nil, &NodeFormatError{Msg: "truncated leaf refs"}
+	}
+	if off+4 > len(payload) {
+		return nil, &NodeFormatError{Msg: "truncated payload length"}
+	}
+	plen := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if plen < 0 || off+plen != len(payload) {
+		return nil, &NodeFormatError{Msg: "payload length mismatch"}
+	}
+	n.Payload = payload[off:]
+	return n, nil
+}
+
+// GetNode fetches and parses a node object from a store.
+func GetNode(s BlobStore, key Key) (*Node, error) {
+	b, err := s.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ParseNode(b)
+	if err != nil {
+		return nil, fmt.Errorf("castore: node %s: %w", key, err)
+	}
+	return n, nil
+}
+
+// PutNode frames and stores a node object, returning its key.
+func PutNode(s BlobStore, nodeRefs, leafRefs []Key, payload []byte) (Key, error) {
+	b := BuildNode(nodeRefs, leafRefs, payload)
+	key := KeyOf(b)
+	return key, s.Put(key, b)
+}

@@ -357,6 +357,17 @@ func Attach(env *kernel.Env, base vm.Addr, mapped uint64) (*FS, error) {
 	return f, nil
 }
 
+// AttachRestored returns a handle on an image restored from a checkpoint
+// without touching memory. Restore must be a pure observation — a
+// resumed run's instruction counters must equal the uninterrupted run's
+// — so the validating reads Attach performs are skipped here: the
+// checkpoint CRC already established the image's integrity when it was
+// decoded. Only use this on images that came back through the kernel's
+// checkpoint/restore; for forked or foreign images use Attach.
+func AttachRestored(env *kernel.Env, base vm.Addr) *FS {
+	return &FS{env: env, base: base}
+}
+
 // insideDataArea reports whether [off, off+length) lies entirely within
 // one region's allocatable span (length 0 checks the bare position).
 func insideDataArea(regs []extent, off, length uint32) bool {

@@ -1,0 +1,62 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	img := captureImage(t)
+	meta, forest, err := SplitImage(img)
+	if err != nil {
+		t.Fatalf("SplitImage: %v", err)
+	}
+	// The forest half must be a decodable vm image, the meta half a
+	// sealed image with no forest, and the join exactly the original.
+	if _, err := vm.DecodeForest(forest); err != nil {
+		t.Fatalf("split forest does not decode: %v", err)
+	}
+	if len(meta) >= len(img) {
+		t.Fatalf("meta (%d bytes) not smaller than the image (%d)", len(meta), len(img))
+	}
+	joined, err := JoinImage(meta, forest)
+	if err != nil {
+		t.Fatalf("JoinImage: %v", err)
+	}
+	if !bytes.Equal(joined, img) {
+		t.Fatalf("join(split(img)) differs: %d bytes vs %d", len(joined), len(img))
+	}
+	// And the joined image restores.
+	m := New(ckConfig())
+	if err := m.Restore(joined); err != nil {
+		t.Fatalf("restore of rejoined image: %v", err)
+	}
+}
+
+func TestSplitJoinRejectBadInput(t *testing.T) {
+	img := captureImage(t)
+	if _, _, err := SplitImage(img[:len(img)/2]); !errors.As(err, new(*BadImageError)) {
+		t.Fatalf("truncated image: %v, want BadImageError", err)
+	}
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/3] ^= 1
+	if _, _, err := SplitImage(flipped); !errors.As(err, new(*BadImageError)) {
+		t.Fatalf("corrupt image: %v, want BadImageError", err)
+	}
+
+	meta, forest, err := SplitImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full image is not a metadata image: joining onto it must fail
+	// rather than produce a double-forest image.
+	if _, err := JoinImage(img, forest); !errors.As(err, new(*BadImageError)) {
+		t.Fatalf("join onto full image: %v, want BadImageError", err)
+	}
+	if _, err := JoinImage(meta[:8], forest); !errors.As(err, new(*BadImageError)) {
+		t.Fatalf("join with truncated meta: %v, want BadImageError", err)
+	}
+}

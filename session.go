@@ -60,6 +60,10 @@ type Session struct {
 	prefix *TraceLog
 
 	checkpoints []*Image
+
+	// lastManifest is the most recent manifest this session saved (SaveTo)
+	// or resumed from (ResumeFrom); the next SaveTo chains onto it.
+	lastManifest *Manifest
 }
 
 // SessionConfig is the unified configuration a Session is built from.

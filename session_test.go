@@ -58,6 +58,40 @@ func roundTripImage(t testing.TB, img *Image) *Image {
 	return img2
 }
 
+// roundTripStore ships an image through a content-addressed store —
+// SaveImage, manifest bytes, LoadImage — asserting the loaded image is
+// byte-identical to the flat form. Resuming its result therefore
+// exercises the chunked path and the flat path at once: they are
+// literally the same bytes.
+func roundTripStore(t testing.TB, img *Image) *Image {
+	t.Helper()
+	store := NewMemStore()
+	m, err := SaveImage(store, img, nil)
+	if err != nil {
+		t.Fatalf("SaveImage: %v", err)
+	}
+	m2, err := DecodeManifest(m.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	img2, err := LoadImage(store, m2)
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+	flat, err := img.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := img2.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flat, loaded) {
+		t.Fatalf("store round trip changed the image: %d bytes vs %d", len(loaded), len(flat))
+	}
+	return img2
+}
+
 // checkpointEverywhere verifies the full equivalence contract for a
 // phased program under a session configuration: for every barrier k,
 // running to a checkpoint at k, shipping the image through bytes, and
@@ -78,7 +112,7 @@ func checkpointEverywhere(t *testing.T, opts []SessionOption, p Program) {
 			}
 			continue
 		}
-		res, rerr := mustSession(t, opts...).Resume(roundTripImage(t, img), p)
+		res, rerr := mustSession(t, opts...).Resume(roundTripStore(t, roundTripImage(t, img)), p)
 		if got := keyOf(res, rerr); got != want {
 			t.Fatalf("resume from barrier %d diverged:\n got %+v\nwant %+v", k, got, want)
 		}
