@@ -8,7 +8,7 @@ GO ?= go
 # build artifact so the perf trajectory is downloadable per run.
 BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck ci
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck detlint ci
 
 build:
 	$(GO) build ./...
@@ -50,9 +50,15 @@ bench-json:
 # Mirrors the pinned CI job; requires staticcheck on PATH
 # (go install honnef.co/go/tools/cmd/staticcheck@2025.1).
 staticcheck:
-	staticcheck ./internal/fs/... ./internal/workload/... ./internal/bench/...
+	staticcheck ./...
 
-ci: build vet fmt-check test race bench-smoke bench-json
+# The determinism analyzers (internal/detlint): maporder, walltime,
+# globalmut, goroutinepool, errcmp. Exits nonzero on any finding not
+# covered by a justified //detlint:allow — see docs/determinism-rules.md.
+detlint:
+	$(GO) run ./cmd/detlint ./...
+
+ci: build vet fmt-check detlint test race bench-smoke bench-json
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		$(MAKE) staticcheck; \
 	else \

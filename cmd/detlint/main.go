@@ -1,0 +1,173 @@
+// Command detlint is the multichecker driver for the repository's
+// determinism analyzers (internal/detlint). It loads the named packages,
+// applies every analyzer (or the -only subset), resolves
+// //detlint:allow suppressions, and exits nonzero if any unsuppressed
+// finding remains.
+//
+// Usage:
+//
+//	go run ./cmd/detlint [-json] [-tests] [-only a,b] [-list] ./...
+//
+// Text output is one finding per line in file:line:col form. -json emits
+// a machine-readable report (schema below) so tooling — and the bench
+// harness — can diff finding counts per PR:
+//
+//	{
+//	  "version": 1,
+//	  "packages": 17,
+//	  "counts": {"maporder": 0, ...},        // unsuppressed, per analyzer
+//	  "suppressed_counts": {"globalmut": 3},
+//	  "findings": [...],                      // unsuppressed only
+//	  "suppressed": [...]                     // each with its reason
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/detlint"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report")
+		tests    = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		only     = flag.String("only", "", "comma-separated subset of analyzers to run")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		showSupp = flag.Bool("show-suppressed", false, "also print suppressed findings (text mode)")
+	)
+	flag.Parse()
+
+	analyzers := detlint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*detlint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (see -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := detlint.NewLoader()
+	pkgs, err := loader.Load(patterns, *tests)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var all []detlint.Finding
+	for _, pkg := range pkgs {
+		fs, err := detlint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fatalf("%s: %v", pkg.Path, err)
+		}
+		all = append(all, fs...)
+	}
+	relativize(all)
+
+	var open, suppressed []detlint.Finding
+	for _, f := range all {
+		if f.Suppressed {
+			suppressed = append(suppressed, f)
+		} else {
+			open = append(open, f)
+		}
+	}
+
+	if *jsonOut {
+		emitJSON(len(pkgs), analyzers, open, suppressed)
+	} else {
+		for _, f := range open {
+			fmt.Println(f)
+		}
+		if *showSupp {
+			for _, f := range suppressed {
+				fmt.Printf("%s (suppressed: %s)\n", f, f.Reason)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s), %d suppressed, %d package(s)\n",
+			len(open), len(suppressed), len(pkgs))
+	}
+	if len(open) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites finding paths relative to the working directory so
+// reports are stable across checkouts (and diffable in CI artifacts).
+func relativize(fs []detlint.Finding) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range fs {
+		if rel, err := filepath.Rel(wd, fs[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].File = rel
+		}
+	}
+}
+
+type report struct {
+	Version          int               `json:"version"`
+	Packages         int               `json:"packages"`
+	Counts           map[string]int    `json:"counts"`
+	SuppressedCounts map[string]int    `json:"suppressed_counts"`
+	Findings         []detlint.Finding `json:"findings"`
+	Suppressed       []detlint.Finding `json:"suppressed"`
+}
+
+func emitJSON(pkgs int, analyzers []*detlint.Analyzer, open, suppressed []detlint.Finding) {
+	r := report{
+		Version:          1,
+		Packages:         pkgs,
+		Counts:           map[string]int{},
+		SuppressedCounts: map[string]int{},
+		Findings:         open,
+		Suppressed:       suppressed,
+	}
+	for _, a := range analyzers {
+		r.Counts[a.Name] = 0
+	}
+	for _, f := range open {
+		r.Counts[f.Analyzer]++
+	}
+	for _, f := range suppressed {
+		r.SuppressedCounts[f.Analyzer]++
+	}
+	if r.Findings == nil {
+		r.Findings = []detlint.Finding{}
+	}
+	if r.Suppressed == nil {
+		r.Suppressed = []detlint.Finding{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "detlint: "+format+"\n", args...)
+	os.Exit(2)
+}

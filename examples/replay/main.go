@@ -60,13 +60,6 @@ func program(env *repro.Env) {
 	env.ConsoleWrite(out.Bytes())
 }
 
-func runOnce(cfg repro.MachineConfig, stdin string) string {
-	var out bytes.Buffer
-	cfg.Console = kernel.NewConsole(strings.NewReader(stdin), &out)
-	repro.NewMachine(cfg).Run(program, 0)
-	return out.String()
-}
-
 func main() {
 	// --- Recorded run with genuinely nondeterministic devices ----------
 	cfg := repro.MachineConfig{

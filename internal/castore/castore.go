@@ -121,8 +121,11 @@ type StoreStats struct {
 // collection (Collect) and the bench harness need.
 type Store interface {
 	BlobStore
-	// Keys calls fn for every chunk held, in unspecified order. fn
-	// returning an error stops the walk and returns that error.
+	// Keys calls fn for every chunk held, in ascending key order. The
+	// order is part of the contract: anything built from an enumeration
+	// (GC sweeps, listings, replication diffs) must be a pure function
+	// of store content, never of backend internals or map iteration.
+	// fn returning an error stops the walk and returns that error.
 	Keys(fn func(Key, BlobInfo) error) error
 	// Delete removes a chunk. Deleting an absent key is a no-op.
 	Delete(key Key) error

@@ -1,0 +1,76 @@
+package castore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Regression for the detlint maporder audit: MemStore.Keys used to range
+// over the chunk map directly, handing the callback a different
+// enumeration order every process run, while DirStore walks its sorted
+// fan-out directories. Enumeration order is observable bytes for
+// anything built from it (GC sweep logs, store listings, replication
+// diffs), so both backends must enumerate in ascending key order.
+func TestKeysEnumerateInSortedKeyOrder(t *testing.T) {
+	mem := NewMemStore()
+	dir, err := OpenDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insertion order deliberately unsorted; keys are content hashes, so
+	// varied payloads scatter across the key space (and DirStore fans).
+	var keys []Key
+	for i := 0; i < 64; i++ {
+		b := []byte(fmt.Sprintf("chunk payload %03d", i*37%64))
+		k := KeyOf(b)
+		keys = append(keys, k)
+		if err := mem.Put(k, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := dir.Put(k, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	enumerate := func(s Store) []Key {
+		var got []Key
+		if err := s.Keys(func(k Key, _ BlobInfo) error {
+			got = append(got, k)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	memKeys := enumerate(mem)
+	if len(memKeys) != len(keys) {
+		t.Fatalf("MemStore enumerated %d keys, want %d", len(memKeys), len(keys))
+	}
+	for i := 1; i < len(memKeys); i++ {
+		if bytes.Compare(memKeys[i-1][:], memKeys[i][:]) >= 0 {
+			t.Fatalf("MemStore.Keys out of order at %d: %x >= %x", i, memKeys[i-1], memKeys[i])
+		}
+	}
+
+	dirKeys := enumerate(dir)
+	if len(dirKeys) != len(memKeys) {
+		t.Fatalf("backend enumerations disagree: mem %d keys, dir %d", len(memKeys), len(dirKeys))
+	}
+	for i := range memKeys {
+		if memKeys[i] != dirKeys[i] {
+			t.Fatalf("backend enumeration order diverges at %d: mem %x, dir %x", i, memKeys[i], dirKeys[i])
+		}
+	}
+
+	// Repeat enumerations must be bit-identical — the property the old
+	// map-order implementation violated on every run.
+	again := enumerate(mem)
+	for i := range memKeys {
+		if memKeys[i] != again[i] {
+			t.Fatalf("MemStore enumeration not repeatable at %d", i)
+		}
+	}
+}

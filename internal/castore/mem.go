@@ -1,6 +1,10 @@
 package castore
 
-import "sync"
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
 
 // MemStore is the in-memory BlobStore backend: a map of codec-encoded
 // chunks guarded by a mutex. It is the store of choice for tests, for
@@ -66,16 +70,27 @@ func (s *MemStore) Stat(key Key) (BlobInfo, error) {
 	return BlobInfo{Size: s.sizes[key], StoredSize: len(enc)}, nil
 }
 
-// Keys enumerates the held chunks.
+// Keys enumerates the held chunks in ascending key order. The order is
+// part of the BlobStore contract: DirStore walks its sorted fan-out
+// directories, so both backends enumerate identically and anything
+// built from an enumeration (GC sweeps, store listings, future
+// replication diffs) is a pure function of store content. The previous
+// implementation ranged over the chunk map directly, handing fn a
+// different order every process run.
 func (s *MemStore) Keys(fn func(Key, BlobInfo) error) error {
 	s.mu.Lock()
+	keys := make([]Key, 0, len(s.chunks))
 	snapshot := make(map[Key]BlobInfo, len(s.chunks))
 	for k, enc := range s.chunks {
+		keys = append(keys, k)
 		snapshot[k] = BlobInfo{Size: s.sizes[k], StoredSize: len(enc)}
 	}
 	s.mu.Unlock()
-	for k, info := range snapshot {
-		if err := fn(k, info); err != nil {
+	sort.Slice(keys, func(i, j int) bool {
+		return bytes.Compare(keys[i][:], keys[j][:]) < 0
+	})
+	for _, k := range keys {
+		if err := fn(k, snapshot[k]); err != nil {
 			return err
 		}
 	}

@@ -20,7 +20,7 @@ import (
 )
 
 // nodeMagic introduces a framed node object.
-var nodeMagic = [4]byte{'C', 'A', 'N', '1'}
+const nodeMagic = "CAN1"
 
 // NodeFormatError reports a structurally invalid, truncated or
 // corrupted node object.
@@ -41,7 +41,7 @@ type Node struct {
 // stored (and hashed into the node's key).
 func BuildNode(nodeRefs, leafRefs []Key, payload []byte) []byte {
 	b := make([]byte, 0, 4+1+8+KeySize*(len(nodeRefs)+len(leafRefs))+4+len(payload)+4)
-	b = append(b, nodeMagic[:]...)
+	b = append(b, nodeMagic...)
 	b = append(b, 1) // version
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(nodeRefs)))
 	for _, k := range nodeRefs {
@@ -66,7 +66,7 @@ func ParseNode(data []byte) (*Node, error) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
 		return nil, &NodeFormatError{Msg: "checksum mismatch"}
 	}
-	if string(payload[:4]) != string(nodeMagic[:]) {
+	if string(payload[:4]) != nodeMagic {
 		return nil, &NodeFormatError{Msg: "bad magic"}
 	}
 	if payload[4] != 1 {

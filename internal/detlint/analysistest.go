@@ -1,0 +1,203 @@
+package detlint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the golden-test half of the framework: the equivalent of
+// golang.org/x/tools/go/analysis/analysistest, driven by `// want`
+// comments in fixture files under testdata/src.
+//
+// A fixture line expecting a diagnostic carries a trailing comment:
+//
+//	for k := range m { // want "randomized map order"
+//
+// The quoted string is a regexp matched against the finding message.
+// Several `want "..."` patterns may appear in one comment. A comment
+// line that contains nothing but want patterns applies to the line
+// ABOVE it — needed when the offending line's only comment slot is
+// already taken by a //detlint:allow directive under test. Suppressed
+// findings (valid //detlint:allow) must NOT be matched by a want — a
+// fixture proves suppression by having a flagged pattern with an allow
+// and no want. Malformed directives surface as findings of the pseudo
+// analyzer "detlint" and are asserted with wants like any other.
+
+// wantRE captures one want clause: the keyword followed by one or more
+// quoted regexps (`want "a" "b"`). wantPatRE then splits the patterns.
+var (
+	wantRE    = regexp.MustCompile(`want ((?:"(?:[^"\\]|\\.)+"\s*)+)`)
+	wantPatRE = regexp.MustCompile(`"((?:[^"\\]|\\.)+)"`)
+)
+
+// TB is the subset of testing.TB the runner needs (kept as an interface
+// so this file doesn't import testing into the non-test build).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var (
+	testLoaderOnce sync.Once
+	testLoader     *Loader
+	testLoaderMu   sync.Mutex
+)
+
+// RunFixture type-checks the fixture directory dir as a package with the
+// given import path, runs the analyzer, and asserts the findings match
+// the fixture's want comments exactly. importPath matters: scope-gated
+// analyzers (walltime, globalmut, goroutinepool) only fire when it names
+// a deterministic package, so fixtures choose their scope by choosing
+// their path.
+func RunFixture(t TB, dir string, a *Analyzer, importPath string) {
+	t.Helper()
+	testLoaderOnce.Do(func() { testLoader = NewLoader() })
+	testLoaderMu.Lock()
+	defer testLoaderMu.Unlock()
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(files)
+	pkg, err := loadFixture(files, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		key := posKey{f.File, f.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(f.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, w)
+			}
+		}
+	}
+}
+
+func loadFixture(files []string, importPath string) (*Package, error) {
+	// Fixtures import only the standard library; make those exports
+	// available before type-checking.
+	imports := map[string]bool{}
+	probe := NewLoader()
+	var names []string
+	for _, f := range files {
+		pf, err := probe.parseImportsOnly(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range pf {
+			imports[imp] = true
+		}
+		names = append(names, f)
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	if err := testLoader.EnsureExports(paths); err != nil {
+		return nil, err
+	}
+	return testLoader.Check(importPath, "", names)
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+func collectWants(t TB, pkg *Package) map[posKey][]*regexp.Regexp {
+	wants := map[posKey][]*regexp.Regexp{}
+	sources := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ms := wantRE.FindAllStringSubmatch(c.Text, -1)
+				if len(ms) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if standaloneComment(t, sources, pos) {
+					line-- // standalone want line: asserts the line above
+				}
+				for _, m := range ms {
+					for _, pm := range wantPatRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(pm[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pm[1], err)
+						}
+						key := posKey{pos.Filename, line}
+						wants[key] = append(wants[key], re)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// standaloneComment reports whether the comment at pos is the only thing
+// on its source line (nothing but whitespace before it).
+func standaloneComment(t TB, sources map[string][]string, pos token.Position) bool {
+	lines, ok := sources[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", pos.Filename, err)
+		}
+		lines = strings.Split(string(data), "\n")
+		sources[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) || pos.Column < 1 {
+		return false
+	}
+	prefix := lines[pos.Line-1]
+	if pos.Column-1 < len(prefix) {
+		prefix = prefix[:pos.Column-1]
+	}
+	return strings.TrimSpace(prefix) == ""
+}
+
+// parseImportsOnly returns the import paths of one file.
+func (l *Loader) parseImportsOnly(path string) ([]string, error) {
+	f, err := parser.ParseFile(l.Fset, path, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, imp := range f.Imports {
+		p := imp.Path.Value
+		out = append(out, p[1:len(p)-1])
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// modulePath is this repository's module path; the deterministic-scope
+// tables below are keyed under it.
+const modulePath = "repro"
+
+// DeterministicPackages are the packages whose results must be a pure
+// function of their inputs: the paper's kernel/vm core, the scheduler,
+// the deterministic filesystem, tracing and the checkpoint store, plus
+// the root facade that serializes session images. walltime, globalmut
+// and goroutinepool apply only here; bench, cmd, examples, baseline and
+// workload drivers live outside the invariant and may use the host
+// freely.
+var DeterministicPackages = map[string]bool{
+	modulePath:                       true,
+	modulePath + "/internal/vm":      true,
+	modulePath + "/internal/kernel":  true,
+	modulePath + "/internal/core":    true,
+	modulePath + "/internal/dsched":  true,
+	modulePath + "/internal/fs":      true,
+	modulePath + "/internal/trace":   true,
+	modulePath + "/internal/castore": true,
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrderAnalyzer,
+		WallTimeAnalyzer,
+		GlobalMutAnalyzer,
+		GoroutinePoolAnalyzer,
+		ErrCmpAnalyzer,
+	}
+}
+
+// Names returns the set of valid analyzer names (for directive
+// validation).
+func Names(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunPackage applies the analyzers to one loaded package and returns the
+// suppression-resolved findings in position order. Directives are
+// validated against the full suite, not just the analyzers being run, so
+// a partial run never reports a legitimate allow as unknown.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			raw = append(raw, Finding{
+				Analyzer: name,
+				Pos:      pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	dirs, bad := collectAllows(pkg.Fset, pkg.Files, Names(All()))
+	return applyAllows(raw, dirs, bad), nil
+}
+
+// --- shared analyzer helpers ---
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// importedPkg resolves a selector qualifier to the package it names, or
+// "" when the expression is not a package-qualified reference.
+func importedPkg(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// enclosingFuncs walks every file, invoking fn for each node with the
+// name of the nearest enclosing named function ("" at package scope;
+// function literals inherit the nearest FuncDecl's name) and the body of
+// the outermost enclosing function (nil at package scope).
+func enclosingFuncs(files []*ast.File, fn func(n ast.Node, funcName string, outermost *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if n != nil {
+						fn(n, "", nil)
+					}
+					return true
+				})
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if n != nil {
+					fn(n, fd.Name.Name, fd.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// within reports whether pos lies inside the node's source span.
+func within(pos token.Pos, n ast.Node) bool {
+	return n != nil && pos >= n.Pos() && pos <= n.End()
+}

@@ -1,0 +1,88 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmpAnalyzer flags ==/!= comparisons (and switch cases) against
+// declared error sentinel values. The repo's typed errors wrap context
+// (paths, offsets, node ids) around sentinels, so identity comparison
+// silently stops matching the moment a call site adds %w context —
+// errors.Is/As is required everywhere. Comparisons against nil are the
+// normal success check and stay legal, as do comparisons inside an Is
+// method (the errors.Is protocol itself).
+var ErrCmpAnalyzer = &Analyzer{
+	Name: "errcmp",
+	Doc: "==/!= against a declared error value breaks once anything wraps the error; " +
+		"use errors.Is (or errors.As for typed errors)",
+	Run: runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	enclosingFuncs(pass.Files, func(n ast.Node, funcName string, _ *ast.BlockStmt) {
+		if funcName == "Is" {
+			return // the errors.Is protocol compares identities by design
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			if !implementsError(pass.TypeOf(n.X)) && !implementsError(pass.TypeOf(n.Y)) {
+				return
+			}
+			sentinel := sentinelError(pass, n.X)
+			if sentinel == nil {
+				sentinel = sentinelError(pass, n.Y)
+			}
+			if sentinel == nil {
+				return
+			}
+			pass.Reportf(n.OpPos, "comparing an error to %s with %s misses wrapped errors; use errors.Is(err, %s)", sentinel.Name(), n.Op, sentinel.Name())
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !implementsError(pass.TypeOf(n.Tag)) {
+				return
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if s := sentinelError(pass, e); s != nil {
+						pass.Reportf(e.Pos(), "switch on error identity misses wrapped errors; use if/else with errors.Is(err, %s)", s.Name())
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// sentinelError reports whether e denotes a package-level error variable
+// (io.EOF, fs.ErrBadOffset, ...), returning its object.
+func sentinelError(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,57 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GlobalMutAnalyzer flags package-level mutable state in the
+// deterministic packages. Every Session/Machine is supposed to be an
+// independent replica — state shared through a package variable couples
+// sessions running in one process, so replica A's history can leak into
+// replica B's bytes (or into a serialized image). Constants, blank
+// compile-time assertions (`var _ T = v`) and error sentinel values
+// (write-once by convention, compared via errors.Is) are exempt;
+// anything else needs an //detlint:allow globalmut with a reason
+// explaining why the state can never reach result bytes.
+var GlobalMutAnalyzer = &Analyzer{
+	Name: "globalmut",
+	Doc: "package-level mutable state in deterministic packages couples sessions that " +
+		"should be independent replicas; move it into the Machine/Session or justify " +
+		"with //detlint:allow globalmut <reason>",
+	Run: runGlobalMut,
+}
+
+func runGlobalMut(pass *Pass) error {
+	if !DeterministicPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // compile-time assertion
+					}
+					obj := pass.ObjectOf(name)
+					if obj == nil {
+						continue
+					}
+					if implementsError(obj.Type()) {
+						continue // write-once error sentinel
+					}
+					pass.Reportf(name.Pos(), "package-level var %s is mutable cross-session state in deterministic package %s; make it a const, move it into the Machine/Session, or justify with //detlint:allow globalmut", name.Name, pass.Pkg.Path())
+				}
+			}
+		}
+	}
+	return nil
+}

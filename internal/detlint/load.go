@@ -1,0 +1,199 @@
+package detlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools:
+// target packages are checked from source, while every import is
+// satisfied from compiler export data located via `go list -export`
+// (the build cache compiles offline, so this works with no network and
+// no pre-installed archives).
+type Loader struct {
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns an empty loader. Exports are populated by Load or
+// EnsureExports.
+func NewLoader() *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok || f == "" {
+		return nil, fmt.Errorf("detlint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+	Export      string
+	Standard    bool
+	Incomplete  bool
+	Error       *struct{ Err string }
+}
+
+func goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// EnsureExports makes export data available for the given import paths
+// and everything they transitively import. Safe to call repeatedly.
+func (l *Loader) EnsureExports(patterns []string) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	pkgs, err := goList(append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkgs {
+		// Test-variant entries ("p [q.test]") recompile a package against
+		// test code; only record the plain builds.
+		if strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Load expands the go package patterns (e.g. "./..."), type-checks every
+// matched package from source, and returns them in deterministic
+// (import path) order. With tests set, each package's in-package
+// _test.go files are checked alongside its sources; external (_test
+// package) files are not analyzed.
+func (l *Loader) Load(patterns []string, tests bool) ([]*Package, error) {
+	targets, err := goList(append([]string{"-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exportArgs := []string{"-deps", "-export", "-json"}
+	if tests {
+		exportArgs = append([]string{"-test"}, exportArgs...)
+	}
+	deps, err := goList(append(exportArgs, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range deps {
+		if strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		files := t.GoFiles
+		if tests {
+			files = append(append([]string{}, files...), t.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := l.Check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Check parses the named files of one package rooted at dir and
+// type-checks them under importPath, resolving imports from export data.
+func (l *Loader) Check(importPath, dir string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path: importPath, Dir: dir, Fset: l.Fset,
+		Files: parsed, Types: tpkg, Info: info,
+	}, nil
+}

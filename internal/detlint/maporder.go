@@ -1,0 +1,198 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` over a map whose body has an
+// order-dependent effect: writing to an encoder/hasher/serialized
+// buffer, appending to a slice declared outside the loop, or sending on
+// a channel. Go randomizes map iteration order, so any such loop makes
+// result bytes a function of the hash seed instead of the inputs — the
+// classic bit-identity killer for vm images, castore manifests/GC,
+// fs.Compact and the bench tables.
+//
+// The canonical fix is collect-keys → sort → range the sorted slice, and
+// the analyzer recognizes it: an append into an outer slice is exempt
+// when that slice is passed to a sort.* / slices.Sort* call later in the
+// same function.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "range over a map with an order-dependent body (buffer/encoder/hasher writes, " +
+		"appends to an outer slice that is never sorted, channel sends) makes output " +
+		"bytes depend on Go's randomized map iteration order; sort the keys first",
+	Run: runMapOrder,
+}
+
+// sinkMethods are method names that serialize their arguments into a
+// stateful receiver: emitting under map order makes the accumulated
+// bytes nondeterministic.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Sum": true, "Sum32": true, "Sum64": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	enclosingFuncs(pass.Files, func(n ast.Node, _ string, outer *ast.BlockStmt) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if t := pass.TypeOf(rng.X); t == nil {
+			return
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRangeBody(pass, rng, outer)
+	})
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, outer *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng {
+				// An inner map range is reported on its own; an inner
+				// slice range's sinks still execute under the outer
+				// map's order, so keep walking its body.
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "send on a channel inside range over a map: delivery order follows the randomized map order; range over sorted keys instead")
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, n)
+		case *ast.AssignStmt:
+			checkMapRangeAppend(pass, n, rng, outer)
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall flags serialization calls inside the loop body.
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Invoking a func-typed value (a callback parameter, a stored
+		// hook) hands the callee one element per iteration in
+		// randomized order — the enumeration-API shape of the bug
+		// (a store's Keys(fn) visiting chunks in map order).
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if v, ok := pass.ObjectOf(id).(*types.Var); ok {
+				if _, isFn := v.Type().Underlying().(*types.Signature); isFn {
+					pass.Reportf(call.Pos(), "callback %s invoked inside range over a map observes randomized map order; collect and sort the keys first", id.Name)
+				}
+			}
+		}
+		return
+	}
+	name := sel.Sel.Name
+	switch importedPkg(pass.TypesInfo, sel.X) {
+	case "fmt":
+		if name == "Fprint" || name == "Fprintf" || name == "Fprintln" {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over a map emits in randomized map order; range over sorted keys instead", name)
+		}
+		return
+	case "encoding/binary":
+		if name == "Write" {
+			pass.Reportf(call.Pos(), "binary.Write inside range over a map emits in randomized map order; range over sorted keys instead")
+		}
+		return
+	case "":
+		// method call — fall through
+	default:
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	if s.Kind() == types.FieldVal {
+		if _, isFn := s.Type().Underlying().(*types.Signature); isFn {
+			pass.Reportf(call.Pos(), "callback field %s invoked inside range over a map observes randomized map order; collect and sort the keys first", name)
+		}
+		return
+	}
+	if s.Kind() == types.MethodVal && sinkMethods[name] {
+		pass.Reportf(call.Pos(), "%s call inside range over a map serializes in randomized map order; range over sorted keys instead", name)
+	}
+}
+
+// checkMapRangeAppend flags `s = append(s, ...)` where s outlives the
+// loop and is never subsequently sorted in the enclosing function.
+func checkMapRangeAppend(pass *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, outer *ast.BlockStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return
+	} else if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	obj := lhsObject(pass, as.Lhs[0])
+	if obj == nil || within(obj.Pos(), rng) {
+		return // loop-local accumulator: dies with the iteration
+	}
+	if sortedAfter(pass, outer, rng, obj) {
+		return // collect-then-sort idiom
+	}
+	pass.Reportf(as.Pos(), "append to %s inside range over a map accumulates in randomized map order; sort %s afterwards or range over sorted keys", obj.Name(), obj.Name())
+}
+
+// lhsObject resolves the variable (or field) an assignment writes to.
+func lhsObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function passes obj to a sort.* or slices.Sort* call — the signature
+// of the collect-keys-then-sort idiom.
+func sortedAfter(pass *Pass, outer *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if outer == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(outer, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch importedPkg(pass.TypesInfo, sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,114 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full grammar is
+//
+//	//detlint:allow <analyzer> <reason...>
+//
+// The directive suppresses findings of <analyzer> reported on the same
+// line or on the line immediately below (i.e. the directive sits on the
+// offending line as a trailing comment, or on its own line just above).
+const allowPrefix = "//detlint:allow"
+
+// directiveAnalyzer is the pseudo-analyzer name under which malformed
+// directives are reported; it cannot itself be suppressed.
+const directiveAnalyzer = "detlint"
+
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows scans every comment of files for allow directives.
+// Malformed directives (missing reason, unknown analyzer) are returned as
+// findings in their own right: a suppression must carry a justification
+// that review can hold the author to.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allowDirective, []Finding) {
+	var dirs []*allowDirective
+	var bad []Finding
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Finding{
+			Analyzer: directiveAnalyzer,
+			Pos:      pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //detlint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "detlint:allow directive names no analyzer")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(pos, "detlint:allow names unknown analyzer \""+name+"\"")
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					report(pos, "detlint:allow "+name+" needs a reason: //detlint:allow "+name+" <why this cannot break determinism>")
+					continue
+				}
+				dirs = append(dirs, &allowDirective{
+					file: pos.Filename, line: pos.Line,
+					analyzer: name, reason: reason,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyAllows marks each finding suppressed when a matching directive
+// covers its line, and returns the combined, position-sorted finding list
+// including directive errors.
+func applyAllows(findings []Finding, dirs []*allowDirective, directiveErrs []Finding) []Finding {
+	for i := range findings {
+		f := &findings[i]
+		for _, d := range dirs {
+			if d.analyzer != f.Analyzer || d.file != f.File {
+				continue
+			}
+			if d.line == f.Line || d.line == f.Line-1 {
+				f.Suppressed = true
+				f.Reason = d.reason
+				d.used = true
+				break
+			}
+		}
+	}
+	all := append(findings, directiveErrs...)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}

@@ -1,0 +1,9 @@
+// Suppression fixture for errcmp.
+package fixture
+
+import "io"
+
+func identity(err error) bool {
+	//detlint:allow errcmp sentinel is produced unwrapped two lines up, identity is intentional here
+	return err == io.EOF
+}

@@ -1,0 +1,36 @@
+// Negative errcmp fixtures: nil checks, errors.Is/As, and the Is-method
+// protocol itself are all legal.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrNeg = errors.New("fixture: neg")
+
+type codedError struct{ code int }
+
+func (e *codedError) Error() string { return "fixture: coded" }
+
+// Is implements the errors.Is protocol; identity comparison is its job.
+func (e *codedError) Is(target error) bool {
+	return target == ErrNeg
+}
+
+func handle(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, ErrNeg) || errors.Is(err, io.EOF) {
+		return 1
+	}
+	var coded *codedError
+	if errors.As(err, &coded) {
+		return coded.code
+	}
+	return -1
+}
+
+// Comparing non-error values is out of scope.
+func compareInts(a, b int) bool { return a == b }

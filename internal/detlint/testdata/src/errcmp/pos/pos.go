@@ -1,0 +1,38 @@
+// Positive errcmp fixtures: identity comparison against declared error
+// sentinels.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrGone = errors.New("fixture: gone")
+
+type decoder struct{ err error }
+
+func classify(err error) int {
+	if err == ErrGone { // want "comparing an error to ErrGone"
+		return 1
+	}
+	if err != io.EOF { // want "comparing an error to EOF"
+		return 2
+	}
+	return 0
+}
+
+func classifySwitch(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrGone: // want "switch on error identity"
+		return 1
+	case io.ErrUnexpectedEOF: // want "switch on error identity"
+		return 2
+	}
+	return 3
+}
+
+func (d *decoder) drained() bool {
+	return ErrGone == d.err // want "comparing an error to ErrGone"
+}

@@ -1,0 +1,14 @@
+// Suppression fixture for globalmut (loaded under repro/internal/vm).
+package fixture
+
+//detlint:allow globalmut identity tokens compared only for equality, never serialized
+var tokenCounter uint64
+
+var leaky int //detlint:allow globalmut
+// want "needs a reason" "package-level var leaky is mutable cross-session state"
+
+func next() uint64 {
+	tokenCounter++
+	leaky++
+	return tokenCounter
+}

@@ -1,0 +1,34 @@
+// Negative globalmut fixtures (loaded under repro/internal/vm):
+// constants, compile-time assertions and write-once error sentinels are
+// exempt.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+const limit = 64
+
+var ErrBoom = errors.New("fixture: boom")
+
+var errWrapped = errors.New("fixture: wrapped")
+
+type sigError struct{}
+
+func (*sigError) Error() string { return "fixture: signal" }
+
+var errSignal = &sigError{}
+
+var _ io.Reader = (*fakeReader)(nil)
+
+type fakeReader struct{}
+
+func (*fakeReader) Read([]byte) (int, error) { return 0, errWrapped }
+
+func use() error {
+	if false {
+		return ErrBoom
+	}
+	return errSignal
+}

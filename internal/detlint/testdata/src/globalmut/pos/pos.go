@@ -1,0 +1,15 @@
+// Positive globalmut fixtures (loaded under repro/internal/vm):
+// package-level mutable state in a deterministic package.
+package fixture
+
+import "sync"
+
+var cache = map[string][]byte{} // want "package-level var cache is mutable cross-session state"
+
+var counter int // want "package-level var counter is mutable cross-session state"
+
+var pool sync.Pool // want "package-level var pool is mutable cross-session state"
+
+var hook func(int) // want "package-level var hook is mutable cross-session state"
+
+var a, b int // want "package-level var a is mutable cross-session state" "package-level var b is mutable cross-session state"

@@ -1,0 +1,7 @@
+// Scope fixture: mutable package state is fine outside the
+// deterministic packages (loaded under repro/internal/bench).
+package fixture
+
+var resultCache = map[string]float64{}
+
+var runs int

@@ -1,0 +1,12 @@
+// Suppression fixture for goroutinepool (loaded under
+// repro/internal/kernel).
+package fixture
+
+func monitored(fn func(), joined chan struct{}) {
+	//detlint:allow goroutinepool joined before the round commits, interleaving can't reach result bytes
+	go func() {
+		fn()
+		close(joined)
+	}()
+	<-joined
+}

@@ -1,0 +1,12 @@
+// Negative goroutinepool fixtures (loaded under repro/internal/kernel):
+// the approved site "repro/internal/kernel.start" may spawn — including
+// from nested function literals, which attribute to the enclosing named
+// function.
+package fixture
+
+func start(entry func()) {
+	go entry()
+	defer func() {
+		go entry()
+	}()
+}

@@ -1,0 +1,29 @@
+// Positive goroutinepool fixtures (loaded under repro/internal/kernel):
+// bare go statements outside the approved pool sites.
+package fixture
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want "bare go statement in deterministic package"
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+func fireAndForget(ch chan<- int) {
+	go send(ch) // want "bare go statement in deterministic package"
+}
+
+func send(ch chan<- int) { ch <- 1 }
+
+type runner struct{ done chan struct{} }
+
+func (r *runner) spawnInMethod() {
+	go close(r.done) // want "bare go statement in deterministic package"
+}

@@ -1,0 +1,16 @@
+// Scope fixture (loaded under repro/internal/bench): host-side packages
+// may spawn goroutines freely.
+package fixture
+
+func parallelMeasure(fns []func()) {
+	done := make(chan struct{})
+	for _, fn := range fns {
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+}

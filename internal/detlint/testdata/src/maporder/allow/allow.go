@@ -1,0 +1,32 @@
+// Suppression fixtures: a justified //detlint:allow silences the
+// finding; a reasonless one is itself an error and suppresses nothing.
+package fixture
+
+import "bytes"
+
+func allowed(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		//detlint:allow maporder scratch buffer is re-sorted by the caller before hashing
+		buf.WriteString(k)
+	}
+}
+
+func allowedTrailing(m map[string]int, out chan<- string) {
+	for k := range m {
+		out <- k //detlint:allow maporder consumer set-folds the keys, order can never reach bytes
+	}
+}
+
+func reasonless(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) //detlint:allow maporder
+		// want "needs a reason" "WriteString call inside range over a map"
+	}
+}
+
+func wrongAnalyzer(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) //detlint:allow nosuchrule because I said so
+		// want "unknown analyzer" "WriteString call inside range over a map"
+	}
+}

@@ -1,0 +1,68 @@
+// Negative maporder fixtures: map-range bodies that are order-safe and
+// must not be flagged.
+package fixture
+
+import (
+	"bytes"
+	"sort"
+)
+
+// The canonical fix: collect keys, sort, then emit over the sorted
+// slice. The collecting append is exempt because keys is sorted later
+// in the same function.
+func collectThenSort(m map[string]int, buf *bytes.Buffer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+}
+
+// sort.Slice with the accumulator nested in the call is recognized too.
+func collectThenSortSlice(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Commutative folds don't depend on iteration order.
+func fold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Loop-local accumulators die with the iteration.
+func local(m map[string][]byte) int {
+	n := 0
+	for _, v := range m {
+		var parts []byte
+		parts = append(parts, v...)
+		n += len(parts)
+	}
+	return n
+}
+
+// Map-to-map copies are order-independent.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Ranging a slice is always fine, whatever the body does.
+func sliceRange(s []string, buf *bytes.Buffer) {
+	for _, v := range s {
+		buf.WriteString(v)
+	}
+}

@@ -1,0 +1,69 @@
+// Positive maporder fixtures: every order-dependent map-range body the
+// analyzer must catch.
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+func emitBuffer(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		buf.WriteString(k)        // want "WriteString call inside range over a map"
+		fmt.Fprintf(buf, "%d", v) // want "fmt.Fprintf inside range over a map"
+	}
+}
+
+func emitBinary(m map[string]uint32, buf *bytes.Buffer) {
+	for _, v := range m {
+		_ = binary.Write(buf, binary.LittleEndian, v) // want "binary.Write inside range over a map"
+	}
+}
+
+func hashValues(m map[string][]byte) uint32 {
+	h := crc32.NewIEEE()
+	for _, v := range m {
+		h.Write(v) // want "Write call inside range over a map"
+	}
+	return h.Sum32()
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over a map"
+	}
+	return keys // never sorted: caller sees randomized order
+}
+
+func fanOut(m map[string]int, out chan<- string) {
+	for k := range m {
+		out <- k // want "send on a channel inside range over a map"
+	}
+}
+
+func enumerate(m map[string]int, fn func(string, int)) {
+	for k, v := range m {
+		fn(k, v) // want "callback fn invoked inside range over a map"
+	}
+}
+
+type walker struct {
+	visit func(string)
+}
+
+func (w *walker) walk(m map[string]bool) {
+	for k := range m {
+		w.visit(k) // want "callback field visit invoked inside range over a map"
+	}
+}
+
+func nestedSliceRange(m map[string][]string, buf *bytes.Buffer) {
+	for _, vs := range m {
+		for _, v := range vs {
+			buf.WriteString(v) // want "WriteString call inside range over a map"
+		}
+	}
+}

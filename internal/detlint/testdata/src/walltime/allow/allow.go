@@ -1,0 +1,9 @@
+// Suppression fixture for walltime (loaded under a deterministic path).
+package fixture
+
+import "time"
+
+func bootstrapSeed() int64 {
+	//detlint:allow walltime feeds the explicit seed of a device clock, never read again on the replay path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,31 @@
+// Positive walltime fixtures; the test runs these under a deterministic
+// import path (repro/internal/kernel), where host time and the global
+// rand source are banned.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	t := time.Now()              // want "time.Now depends on the host wall clock"
+	d := time.Since(t)           // want "time.Since depends on the host wall clock"
+	time.Sleep(time.Microsecond) // want "time.Sleep depends on the host wall clock"
+	return t.UnixNano() + int64(d)
+}
+
+func waitThenPick(n int) int {
+	<-time.After(time.Millisecond) // want "time.After depends on the host wall clock"
+	return rand.Intn(n)            // want "rand.Intn uses the global time-seeded source"
+}
+
+func reseed() {
+	rand.Seed(42) // want "rand.Seed uses the global time-seeded source"
+}
+
+// Seeded constructors and duration arithmetic are legal even here.
+func legal() time.Duration {
+	r := rand.New(rand.NewSource(42))
+	return time.Duration(r.Intn(3)) * time.Millisecond
+}

@@ -1,0 +1,15 @@
+// Scope fixture: the same wall-clock reads as pos/, but the test loads
+// this package under repro/internal/bench — outside the deterministic
+// scope — so nothing may be reported.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() (time.Duration, int) {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start), rand.Intn(4)
+}

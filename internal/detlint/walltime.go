@@ -1,0 +1,64 @@
+package detlint
+
+import (
+	"go/ast"
+)
+
+// WallTimeAnalyzer flags wall-clock reads and global (unseeded)
+// math/rand use inside the deterministic packages. There, the virtual
+// instruction clock and the machine's seeded device clock/rng are the
+// only legal time and randomness sources: a time.Now or rand.Intn on a
+// kernel path makes two replicas of the same inputs diverge, which the
+// result-invariance property tests can detect only for the schedules
+// they happen to sweep. bench, cmd, examples and the other host-side
+// packages are exempt.
+var WallTimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "time.Now/Since/Sleep and unseeded math/rand in deterministic packages " +
+		"(internal/{vm,kernel,core,dsched,fs,trace,castore} and the root package) " +
+		"break input-purity; use the virtual clock and kernel.SeededRand",
+	Run: runWallTime,
+}
+
+// bannedTime are the time package entry points that observe or depend on
+// the host clock. time.Duration arithmetic and formatting stay legal.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// seededRandConstructors build an explicitly seeded generator and are
+// therefore deterministic; everything else in math/rand draws from the
+// process-global, time-seeded source.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallTime(pass *Pass) error {
+	if !DeterministicPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch importedPkg(pass.TypesInfo, sel.X) {
+			case "time":
+				if bannedTime[name] {
+					pass.Reportf(sel.Pos(), "time.%s depends on the host wall clock in deterministic package %s; use the virtual clock (space VT) or the machine's device clock", name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandConstructors[name] {
+					pass.Reportf(sel.Pos(), "rand.%s uses the global time-seeded source in deterministic package %s; use kernel.SeededRand or rand.New(rand.NewSource(seed))", name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -99,8 +99,10 @@ func Seal(b []byte) []byte {
 // version byte — and returns a Reader positioned just past the header.
 // Framing problems surface through wrap (the layer's corrupt-image
 // error); an unexpected version goes through badVersion so each layer
-// keeps its typed version error.
-func Open(data []byte, magic [4]byte, version byte, wrap func(off int, msg string) error,
+// keeps its typed version error. The magic is a (4-byte) string so
+// every layer can declare it const — package-level mutable state is
+// banned in the deterministic packages (detlint globalmut).
+func Open(data []byte, magic string, version byte, wrap func(off int, msg string) error,
 	badVersion func(v byte) error) (*Reader, error) {
 	if len(data) < len(magic)+1+4 {
 		return nil, wrap(0, "short image")
@@ -110,7 +112,7 @@ func Open(data []byte, magic [4]byte, version byte, wrap func(off int, msg strin
 		return nil, wrap(len(payload), "checksum mismatch (corrupt image)")
 	}
 	r := &Reader{B: payload, Wrap: wrap}
-	if got := r.Take(4); r.Err == nil && string(got) != string(magic[:]) {
+	if got := r.Take(len(magic)); r.Err == nil && string(got) != magic {
 		return nil, wrap(0, "bad magic")
 	}
 	if v := r.U8(); r.Err == nil && v != version {

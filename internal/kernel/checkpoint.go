@@ -46,7 +46,7 @@ import (
 // CheckpointVersion is the current machine-image format version.
 const CheckpointVersion = 1
 
-var checkpointMagic = [4]byte{'D', 'C', 'K', 'P'}
+const checkpointMagic = "DCKP"
 
 // NotQuiescentError reports a Checkpoint attempted while some space was
 // suspended mid-execution (parked at a Ret or instruction-limit trap)
@@ -144,7 +144,7 @@ func (e *Env) Checkpoint(o CheckpointOpts) ([]byte, error) {
 
 	enc := vm.NewForestEncoder()
 	var b []byte
-	b = append(b, checkpointMagic[:]...)
+	b = append(b, checkpointMagic...)
 	b = append(b, CheckpointVersion)
 	b = sp.m.encodeConfig(b)
 	tree, err := sp.encodeTree(enc, allowed, true)

@@ -71,10 +71,13 @@ const (
 )
 
 // errAbort is panicked into parked goroutines at shutdown or when the
-// parent overwrites a parked space's registers.
+// parent overwrites a parked space's registers. It is a write-once
+// error sentinel (and satisfies error so callers could errors.Is it).
 var errAbort = &abortSignal{}
 
 type abortSignal struct{}
+
+func (*abortSignal) Error() string { return "kernel: space aborted" }
 
 // Space is one node of the kernel's space hierarchy (§3.1): register state
 // for a single control flow plus a private virtual address space. A space

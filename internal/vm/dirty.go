@@ -33,7 +33,12 @@ type dirtyBits [dirtyWords]uint64
 // snapshotIDs issues globally unique snapshot identity tokens. The counter
 // is only ever compared for equality, so it has no effect on deterministic
 // results; it exists to let Merge recognize "ref is the snapshot this
-// space's dirty marks have accumulated against".
+// space's dirty marks have accumulated against". The tokens are never
+// serialized: image encoding rebuilds snapshot identity from the
+// space/snapshot link structure, so the process-global counter value can
+// never reach result bytes.
+//
+//detlint:allow globalmut identity tokens compared only for equality, never ordered or serialized
 var snapshotIDs atomic.Uint64
 
 // dirtyTable returns the (lazily allocated) bitmap for level-1 index l1.

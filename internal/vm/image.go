@@ -46,7 +46,7 @@ import (
 const ImageVersion = 1
 
 // imageMagic introduces a forest image.
-var imageMagic = [4]byte{'D', 'V', 'M', 'F'}
+const imageMagic = "DVMF"
 
 // ImageFormatError reports a structurally invalid, truncated or
 // corrupted forest image.
@@ -143,7 +143,7 @@ func (e *ForestEncoder) Encode() []byte {
 
 	// Pass 2: emit.
 	var b []byte
-	b = append(b, imageMagic[:]...)
+	b = append(b, imageMagic...)
 	b = append(b, ImageVersion)
 
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(pages)))

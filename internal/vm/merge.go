@@ -8,7 +8,12 @@ import (
 	"sync/atomic"
 )
 
-// zeroData backs lazy-zero pages during comparisons.
+// zeroData backs lazy-zero pages during comparisons. It is read-only by
+// contract: every use aliases it behind a *[PageSize]byte that is only
+// ever compared or copied from, and a write would corrupt every
+// lazy-zero page in the process.
+//
+//detlint:allow globalmut read-only canonical zero page, aliased but never written
 var zeroData [PageSize]byte
 
 func dataOf(pg *page) *[PageSize]byte {

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fs"
+)
+
+// Regression for the detlint errcmp audit: the KV checksum walk used to
+// switch on err == fs.ErrNotFound. Identity matching panics the round —
+// changing the workload's observable result bytes — as soon as any
+// filesystem path wraps the sentinel with context. kvReadDigest must
+// fold a miss into the digest identically whether the sentinel arrives
+// bare or wrapped.
+func TestKVReadDigestMatchesWrappedNotFound(t *testing.T) {
+	const seed = uint64(0xDECAFBAD)
+	bare := kvReadDigest(seed, nil, fs.ErrNotFound)
+	wrapped := kvReadDigest(seed, nil, fmt.Errorf("stat kv/s1/k07: %w", fs.ErrNotFound))
+	if bare != wrapped {
+		t.Fatalf("digest diverges on wrapped sentinel: bare %016x, wrapped %016x", bare, wrapped)
+	}
+	if bare == seed {
+		t.Fatalf("miss did not fold into the digest")
+	}
+
+	hit := kvReadDigest(seed, []byte("value"), nil)
+	if hit == bare || hit == seed {
+		t.Fatalf("read digest did not fold data bytes (hit %016x)", hit)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unexpected errors must still panic the round")
+		}
+	}()
+	kvReadDigest(seed, nil, fmt.Errorf("disk on fire"))
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -90,6 +91,25 @@ func kvMix(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	return x ^ (x >> 31)
+}
+
+// kvReadDigest folds one ReadFile result into the round digest. Misses
+// are matched with errors.Is: the previous identity switch on
+// fs.ErrNotFound would panic the round — changing the workload's result
+// bytes — the moment any filesystem path started wrapping the sentinel
+// with context.
+func kvReadDigest(digest uint64, data []byte, err error) uint64 {
+	switch {
+	case err == nil:
+		for _, b := range data {
+			digest = digest*1099511628211 ^ uint64(b)
+		}
+		return digest
+	case errors.Is(err, fs.ErrNotFound):
+		return kvMix(digest ^ 0x404)
+	default:
+		panic(err)
+	}
 }
 
 // KVStore runs the scenario on rt's machine and returns the fold of all
@@ -240,16 +260,7 @@ func kvThread(env *kernel.Env, cfg KVConfig, round, th int, digests vm.Addr) {
 			digest = kvMix(digest ^ uint64(len(val)))
 		default:
 			data, err := fsys.ReadFile(key)
-			switch err {
-			case nil:
-				for _, b := range data {
-					digest = digest*1099511628211 ^ uint64(b)
-				}
-			case fs.ErrNotFound:
-				digest = kvMix(digest ^ 0x404)
-			default:
-				panic(err)
-			}
+			digest = kvReadDigest(digest, data, err)
 		}
 	}
 	if err := fsys.Append(kvLog, []byte(fmt.Sprintf("r%d t%d %016x\n", round, th, digest))); err != nil {

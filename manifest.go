@@ -32,7 +32,7 @@ import (
 
 // manifestMagic opens a manifest node's payload, distinguishing it from
 // the other node kinds (forest roots) sharing a store.
-var manifestMagic = [4]byte{'D', 'M', 'A', 'N'}
+const manifestMagic = "DMAN"
 
 // ManifestVersion is the current manifest payload version.
 const ManifestVersion = 1
@@ -99,7 +99,7 @@ func manifestFromNode(key castore.Key, node *castore.Node, raw []byte) (*Manifes
 	if len(p) != 4+1+8+1 {
 		return nil, &ManifestError{Msg: fmt.Sprintf("payload is %d bytes", len(p))}
 	}
-	if string(p[:4]) != string(manifestMagic[:]) {
+	if string(p[:4]) != manifestMagic {
 		return nil, &ManifestError{Msg: "not a manifest object"}
 	}
 	if p[4] != ManifestVersion {
@@ -156,7 +156,7 @@ func SaveImage(store BlobStore, img *Image, parent *Manifest) (*Manifest, error)
 	}
 
 	payload := make([]byte, 0, 4+1+8+1)
-	payload = append(payload, manifestMagic[:]...)
+	payload = append(payload, manifestMagic...)
 	payload = append(payload, ManifestVersion)
 	payload = binary.LittleEndian.AppendUint64(payload, seq)
 	nodeRefs := []castore.Key{root}

@@ -479,7 +479,7 @@ type Image struct {
 // carries its own version (kernel.CheckpointVersion).
 const ImageVersion = 1
 
-var imageMagic = [4]byte{'D', 'S', 'E', 'S'}
+const imageMagic = "DSES"
 
 // ImageError reports a structurally invalid session image.
 type ImageError struct {
@@ -495,7 +495,7 @@ func (e *ImageError) Error() string {
 // state always produces the same bytes.
 func (im *Image) Bytes() ([]byte, error) {
 	var b []byte
-	b = append(b, imageMagic[:]...)
+	b = append(b, imageMagic...)
 	b = append(b, ImageVersion)
 	b = binary.LittleEndian.AppendUint32(b, uint32(im.Phase))
 
