@@ -4,9 +4,9 @@
 GO ?= go
 
 # Output of `make bench-json`: override per PR / per CI run, e.g.
-# `make bench-json BENCH_OUT=BENCH_pr6.json`. CI uploads the file as a
+# `make bench-json BENCH_OUT=BENCH_pr8.json`. CI uploads the file as a
 # build artifact so the perf trajectory is downloadable per run.
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr8.json
 
 .PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck detlint ci
 
@@ -37,15 +37,17 @@ bench:
 # the dsched round engine still beats the legacy loop path, the kv
 # reconciliation sweep still checksums identically across merge workers,
 # the sharded barrier tree still matches the flat collector bit for bit
-# while cutting the root's cross-node messages, and every checkpoint
-# sweep row still resumes bit-identically to its uninterrupted run.
+# while cutting the root's cross-node messages, every checkpoint sweep
+# row still resumes bit-identically to its uninterrupted run, and the
+# serving fabric still bounds resident pages by the cap while serving
+# 1024 open sessions (killed-worker failovers asserted bit-equal).
 bench-smoke:
-	$(GO) test -bench='Fig4|DschedRound|KVTable|ClusterTable|CkptTable' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Fig4|DschedRound|KVTable|ClusterTable|CkptTable|ServeTable' -benchtime=1x -run='^$$' .
 
 # Machine-readable perf snapshot for the repo's trajectory artifacts
 # (BENCH_pr2.json and successors; see BENCH_OUT above).
 bench-json:
-	$(GO) run ./cmd/detbench -run dsched,merge,kv,cluster,ckpt -quick -json > $(BENCH_OUT)
+	$(GO) run ./cmd/detbench -run dsched,merge,kv,cluster,ckpt,serve -quick -json > $(BENCH_OUT)
 
 # Mirrors the pinned CI job; requires staticcheck on PATH
 # (go install honnef.co/go/tools/cmd/staticcheck@2025.1).

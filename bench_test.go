@@ -1,4 +1,6 @@
-package repro
+// The external test package breaks the cycle the serve fabric would
+// otherwise close: bench imports serve, and serve imports repro.
+package repro_test
 
 import (
 	"fmt"
@@ -45,6 +47,7 @@ func BenchmarkQuantum(b *testing.B)      { benchExperiment(b, "quantum") }
 func BenchmarkKVTable(b *testing.B)      { benchExperiment(b, "kv") }
 func BenchmarkClusterTable(b *testing.B) { benchExperiment(b, "cluster") }
 func BenchmarkCkptTable(b *testing.B)    { benchExperiment(b, "ckpt") }
+func BenchmarkServeTable(b *testing.B)   { benchExperiment(b, "serve") }
 func BenchmarkTab3(b *testing.B)         { benchExperiment(b, "tab3") }
 
 // Per-workload micro-benchmarks: each benchmark kernel on Determinator

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// startTestServer stands up the full HTTP surface over a MemStore.
+func startTestServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	h, err := newServer(repro.NewMemStore(), serve.Config{Workers: 2, Resident: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h.mux())
+	t.Cleanup(func() { ts.Close(); h.Shutdown() })
+	return ts, h
+}
+
+// post sends body as JSON and decodes the response into out, asserting
+// the expected status code.
+func post(t *testing.T, ts *httptest.Server, path string, body, out any, wantCode int) string {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d (want %d): %s", path, resp.StatusCode, wantCode, buf.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: bad reply %q: %v", path, buf.String(), err)
+		}
+	}
+	return buf.String()
+}
+
+func TestServedEndToEnd(t *testing.T) {
+	ts, _ := startTestServer(t)
+
+	// Open + run a few sessions; identical (program, arg) requests from
+	// different tenants must produce identical results.
+	runOne := func(tenant string, arg uint64) runReply {
+		var opened struct {
+			ID serve.SessionID `json:"id"`
+		}
+		post(t, ts, "/v1/open", map[string]any{"tenant": tenant, "program": "stripe-small", "arg": arg}, &opened, 200)
+		var res runReply
+		post(t, ts, "/v1/run", map[string]any{"tenant": tenant, "id": opened.ID}, &res, 200)
+		if res.Status != "halted" || res.VT == 0 {
+			t.Fatalf("run %s/%d: %+v", tenant, arg, res)
+		}
+		// Evict then close: the session's state survives in the store.
+		post(t, ts, "/v1/evict", map[string]any{"tenant": tenant, "id": opened.ID}, nil, 200)
+		post(t, ts, "/v1/close", map[string]any{"tenant": tenant, "id": opened.ID}, nil, 200)
+		return res
+	}
+	a := runOne("alice", 7)
+	b := runOne("bob", 7)
+	if a != b {
+		t.Fatalf("same program+arg, different results: %+v vs %+v", a, b)
+	}
+	if c := runOne("alice", 8); c == a {
+		t.Fatal("different args produced identical results")
+	}
+
+	var gc repro.CollectStats
+	post(t, ts, "/v1/gc", struct{}{}, &gc, 200)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Opened != 3 || m.Completed != 3 || m.Closed != 3 || m.BitEqFail != 0 {
+		t.Fatalf("stats: %+v", m)
+	}
+}
+
+func TestServedErrors(t *testing.T) {
+	ts, h := startTestServer(t)
+
+	// Unknown program and unknown session are 404s.
+	post(t, ts, "/v1/open", map[string]any{"tenant": "t", "program": "nope"}, nil, 404)
+	post(t, ts, "/v1/run", map[string]any{"tenant": "t", "id": "t/99"}, nil, 404)
+
+	// A cap refusal is 429.
+	h.s.SetCaps("capped", serve.TenantCaps{MaxOpen: 1})
+	post(t, ts, "/v1/open", map[string]any{"tenant": "capped", "program": "stripe-small"}, nil, 200)
+	post(t, ts, "/v1/open", map[string]any{"tenant": "capped", "program": "stripe-small"}, nil, 429)
+
+	// Malformed JSON is 400; GET on a POST endpoint is 405.
+	resp, err := http.Post(ts.URL+"/v1/open", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	if resp, err = http.Get(ts.URL + "/v1/run"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET run: status %d", resp.StatusCode)
+	}
+
+	// Shut down: further opens are 503.
+	h.Shutdown()
+	post(t, ts, "/v1/open", map[string]any{"tenant": "t", "program": "stripe-small"}, nil, 503)
+}

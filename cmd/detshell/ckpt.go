@@ -83,15 +83,7 @@ func ckptSave(store repro.BlobStore, dir string, r io.Reader, out io.Writer) err
 // new script lines from r as further phases, and (when there are new
 // lines) chains a fresh checkpoint onto the old one.
 func ckptResume(store repro.BlobStore, dir string, r io.Reader, out io.Writer) error {
-	keyText, err := os.ReadFile(filepath.Join(dir, manifestFile))
-	if err != nil {
-		return err
-	}
-	key, err := repro.ParseChunkKey(strings.TrimSpace(string(keyText)))
-	if err != nil {
-		return fmt.Errorf("bad %s: %w", manifestFile, err)
-	}
-	m, err := repro.LoadManifest(store, key)
+	m, err := repro.ReadManifestHead(store, filepath.Join(dir, manifestFile))
 	if err != nil {
 		return err
 	}
@@ -183,7 +175,9 @@ func scriptLines(r io.Reader) []string {
 	return lines
 }
 
-// writeManifestKey records the chain head in dir/MANIFEST.
+// writeManifestKey records the chain head in dir/MANIFEST atomically —
+// a crashed save leaves the old head intact rather than a truncated key
+// that would strand the whole chain.
 func writeManifestKey(dir string, m *repro.Manifest) error {
-	return os.WriteFile(filepath.Join(dir, manifestFile), []byte(m.Key().String()+"\n"), 0o644)
+	return repro.WriteManifestHead(filepath.Join(dir, manifestFile), m)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -90,6 +91,31 @@ func TestCkptManifestChains(t *testing.T) {
 	}
 	if depth != 2 {
 		t.Errorf("chain depth = %d, want 2 (save + two resumes)", depth)
+	}
+}
+
+func TestCkptResumeRejectsTruncatedHead(t *testing.T) {
+	// Regression: a crashed save that used plain truncate-and-write could
+	// leave half a key in MANIFEST; resume must refuse it with the typed
+	// head error instead of a generic parse failure or a wrong chain.
+	dir := t.TempDir()
+	ckpt(t, dir, "save", "write f seed\n")
+	head := filepath.Join(dir, manifestFile)
+	raw, err := os.ReadFile(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(head, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := repro.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ckptResume(store, dir, strings.NewReader("cat f\n"), &strings.Builder{})
+	var he *repro.HeadError
+	if !errors.As(err, &he) {
+		t.Fatalf("resume with truncated head: error %v (%T), want *repro.HeadError", err, err)
 	}
 }
 

@@ -28,6 +28,17 @@ var DeterministicPackages = map[string]bool{
 	modulePath + "/internal/castore": true,
 }
 
+// WallClockPackages extends the walltime ban (only) beyond the fully
+// deterministic set. The serving fabric schedules work however the host
+// lets it — worker pools and mutexes are its job, so goroutinepool and
+// globalmut don't apply — but it must still never read the host clock:
+// scheduling may change latency, never results, and wall-budget time
+// arrives through an injected Config.Clock. cmd/detserved, at the edge,
+// is where time.Now is legal (see docs/determinism-rules.md).
+var WallClockPackages = map[string]bool{
+	modulePath + "/internal/serve": true,
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{

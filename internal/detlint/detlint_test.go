@@ -15,6 +15,7 @@ import (
 func TestAnalyzersOnFixtures(t *testing.T) {
 	detPath := modulePath + "/internal/kernel"
 	benchPath := modulePath + "/internal/bench"
+	servePath := modulePath + "/internal/serve"
 	cases := []struct {
 		analyzer *Analyzer
 		dir      string
@@ -25,17 +26,22 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{MapOrderAnalyzer, "maporder/allow", "fixture/maporder"},
 
 		{WallTimeAnalyzer, "walltime/pos", detPath},
+		// The serving fabric is wall-clock-banned too, even though the
+		// other scope-gated analyzers leave it alone.
+		{WallTimeAnalyzer, "walltime/pos", servePath},
 		{WallTimeAnalyzer, "walltime/scope", benchPath},
 		{WallTimeAnalyzer, "walltime/allow", detPath},
 
 		{GlobalMutAnalyzer, "globalmut/pos", modulePath + "/internal/vm"},
 		{GlobalMutAnalyzer, "globalmut/neg", modulePath + "/internal/vm"},
 		{GlobalMutAnalyzer, "globalmut/scope", benchPath},
+		{GlobalMutAnalyzer, "globalmut/scope", servePath},
 		{GlobalMutAnalyzer, "globalmut/allow", modulePath + "/internal/vm"},
 
 		{GoroutinePoolAnalyzer, "goroutinepool/pos", detPath},
 		{GoroutinePoolAnalyzer, "goroutinepool/neg", detPath},
 		{GoroutinePoolAnalyzer, "goroutinepool/scope", benchPath},
+		{GoroutinePoolAnalyzer, "goroutinepool/scope", servePath},
 		{GoroutinePoolAnalyzer, "goroutinepool/allow", detPath},
 
 		{ErrCmpAnalyzer, "errcmp/pos", "fixture/errcmp"},

@@ -10,13 +10,16 @@ import (
 // only legal time and randomness sources: a time.Now or rand.Intn on a
 // kernel path makes two replicas of the same inputs diverge, which the
 // result-invariance property tests can detect only for the schedules
-// they happen to sweep. bench, cmd, examples and the other host-side
-// packages are exempt.
+// they happen to sweep. The serving fabric (internal/serve) is also in
+// scope even though the other determinism analyzers exempt it: its
+// scheduling is free to be host-driven, but wall time may only reach it
+// through an injected clock. bench, cmd, examples and the other
+// host-side packages are exempt.
 var WallTimeAnalyzer = &Analyzer{
 	Name: "walltime",
 	Doc: "time.Now/Since/Sleep and unseeded math/rand in deterministic packages " +
-		"(internal/{vm,kernel,core,dsched,fs,trace,castore} and the root package) " +
-		"break input-purity; use the virtual clock and kernel.SeededRand",
+		"(internal/{vm,kernel,core,dsched,fs,trace,castore,serve} and the root package) " +
+		"break input-purity; use the virtual clock, kernel.SeededRand, or an injected clock",
 	Run: runWallTime,
 }
 
@@ -37,7 +40,7 @@ var seededRandConstructors = map[string]bool{
 }
 
 func runWallTime(pass *Pass) error {
-	if !DeterministicPackages[pass.Pkg.Path()] {
+	if !DeterministicPackages[pass.Pkg.Path()] && !WallClockPackages[pass.Pkg.Path()] {
 		return nil
 	}
 	for _, f := range pass.Files {

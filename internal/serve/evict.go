@@ -1,0 +1,50 @@
+package serve
+
+// Checkpoint-backed eviction: the mechanism that lets open sessions
+// outnumber resident ones by orders of magnitude. A resting session's
+// whole machine state is an Image; Suspend pushes it into the shared
+// content-addressed store as a chained manifest (costing only chunks
+// new since its last save) and frees the in-memory copy. The next
+// dispatch reloads it transparently, bit-identical — so eviction policy
+// is pure resource management and can never change a result.
+
+// evictOverCap suspends least-recently-dispatched resting sessions
+// until the number holding in-memory images is within Config.Resident.
+// Called under s.mu after every slice and admission.
+func (s *Server) evictOverCap() {
+	if s.cfg.Resident <= 0 {
+		return
+	}
+	for s.m.ResidentSessions > int64(s.cfg.Resident) {
+		victim := s.evictim()
+		if victim == nil {
+			return // everything resident is mid-slice; re-check next slice
+		}
+		if _, err := victim.sess.Suspend(s.cfg.Store); err != nil {
+			// A failed eviction leaves the session resident and intact;
+			// fail its request rather than wedging the eviction loop.
+			s.finish(victim, zeroResult, err)
+			s.setPages(victim, 0)
+			continue
+		}
+		s.setPages(victim, 0)
+		s.m.Evictions++
+	}
+}
+
+// evictim picks the least-recently-dispatched session holding an
+// in-memory image that no worker is executing; ties break by ID (the
+// registry iterates in ID order), keeping the choice deterministic for
+// a given dispatch history.
+func (s *Server) evictim() *session {
+	var victim *session
+	for _, c := range s.sortedSessions() {
+		if c.pages == 0 || c.running {
+			continue
+		}
+		if victim == nil || c.lastTick < victim.lastTick {
+			victim = c
+		}
+	}
+	return victim
+}

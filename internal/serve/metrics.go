@@ -1,0 +1,34 @@
+package serve
+
+// Metrics is a snapshot of the server's counters (Server.Stats). All
+// counts are cumulative since New unless noted.
+type Metrics struct {
+	Opened    int64 // sessions admitted
+	Closed    int64 // sessions closed
+	Completed int64 // sessions whose final result was computed
+
+	Slices       int64 // timeslices executed (including retries)
+	Retries      int64 // slices re-run after a worker death
+	WorkerDeaths int64 // slices that died mid-execution (injected or real panic)
+	Failovers    int64 // sessions re-admitted on a fresh Session after a post-slice death
+
+	// BitEqOK / BitEqFail count failover re-executions whose checkpoint
+	// digest did (did not) match the dead worker's attempt. BitEqFail
+	// staying zero is the paper's claim made operational: re-running a
+	// slice from the last manifest is bit-identical, so retry and
+	// failover are safe by construction.
+	BitEqOK   int64
+	BitEqFail int64
+
+	Evictions int64 // resting checkpoints pushed to the store
+	Resumes   int64 // slices that began by reloading a suspended session
+	ResumeNS  int64 // wall time of those resumed slices (subset of WallNS)
+
+	CapRejections int64 // opens/runs refused by tenant caps
+
+	ResidentSessions  int64 // sessions currently holding an in-memory image
+	ResidentPages     int64 // pages those images pin in memory
+	ResidentPeakPages int64 // high-water mark of ResidentPages
+
+	WallNS int64 // total slice wall time measured by Config.Clock
+}

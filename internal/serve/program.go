@@ -1,0 +1,59 @@
+package serve
+
+import "repro"
+
+// StripeProgram returns a ProgramMaker for the striped-array workload
+// the server's tests, bench table and detserved register by default:
+// threads sweep disjoint stripes of a words-long shared array each
+// phase and fold per-thread sums into a running checksum; Result mixes
+// the checksum with a sample of the final array. arg seeds the initial
+// contents, so every session computes a different — but deterministic —
+// answer, which is what lets callers assert served results against
+// uninterrupted single-tenant reruns bit-for-bit.
+func StripeProgram(threads, phases, words int) ProgramMaker {
+	return func(arg uint64) repro.Program {
+		var arr, acc repro.Addr
+		return repro.Program{
+			Phases: phases,
+			Layout: func(rt *repro.RT) {
+				arr = rt.Alloc(uint64(8*words), 8)
+				acc = rt.Alloc(8, 8)
+			},
+			Init: func(rt *repro.RT) {
+				for i := 0; i < words; i++ {
+					rt.Env().WriteU64(arr+repro.Addr(8*i), (uint64(i)+arg)*2654435761)
+				}
+				rt.Env().WriteU64(acc, arg|1)
+			},
+			Phase: func(rt *repro.RT, p int) error {
+				rets, err := rt.ParallelDo(threads, func(t *repro.Thread) uint64 {
+					lo, hi := t.ID*words/threads, (t.ID+1)*words/threads
+					var sum uint64
+					for i := lo; i < hi; i++ {
+						a := arr + repro.Addr(8*i)
+						v := t.Env().ReadU64(a)*6364136223846793005 + uint64(p) + 1
+						t.Env().WriteU64(a, v)
+						sum += v
+					}
+					return sum
+				})
+				if err != nil {
+					return err
+				}
+				h := rt.Env().ReadU64(acc)
+				for _, r := range rets {
+					h = h*31 + r
+				}
+				rt.Env().WriteU64(acc, h)
+				return nil
+			},
+			Result: func(rt *repro.RT) uint64 {
+				h := rt.Env().ReadU64(acc)
+				for i := 0; i < words; i += 7 {
+					h = h*1099511628211 + rt.Env().ReadU64(arr+repro.Addr(8*i))
+				}
+				return h
+			},
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// testOpts is the machine shape every serve test uses; the server's
+// resumes must match the shape its checkpoints were captured under.
+func testOpts() []repro.SessionOption {
+	return []repro.SessionOption{repro.WithMachine(repro.MachineConfig{CPUsPerNode: 4, MergeWorkers: 1})}
+}
+
+// directResult runs maker(arg) uninterrupted on a private session — the
+// reference every served result must equal bit-for-bit.
+func directResult(t *testing.T, maker ProgramMaker, arg uint64) repro.RunResult {
+	t.Helper()
+	sess, err := repro.NewSession(testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunProgram(maker(arg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// maxStepPages steps maker(arg) to completion with budget 1 and returns
+// the largest resting-image page count seen.
+func maxStepPages(t *testing.T, maker ProgramMaker, arg uint64) int {
+	t.Helper()
+	sess, err := repro.NewSession(testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Bind(maker(arg)); err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for {
+		sr, err := sess.Step(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Pages > max {
+			max = sr.Pages
+		}
+		if sr.Done {
+			return max
+		}
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = repro.NewMemStore()
+	}
+	if cfg.SessionOpts == nil {
+		cfg.SessionOpts = testOpts()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	var ce *ConfigError
+	if _, err := New(Config{}); !errors.As(err, &ce) || ce.Field != "Store" {
+		t.Fatalf("New without store: %v", err)
+	}
+	if _, err := New(Config{Store: repro.NewMemStore(), Workers: -1}); !errors.As(err, &ce) || ce.Field != "Workers" {
+		t.Fatalf("New with negative workers: %v", err)
+	}
+}
+
+// TestRunQueueRoundRobin checks the dispatch order is FIFO per tenant
+// and round-robin across sorted tenant names.
+func TestRunQueueRoundRobin(t *testing.T) {
+	q := newRunQueue()
+	mk := func(tenant string, n int) *session {
+		return &session{id: SessionID(fmt.Sprintf("%s/%d", tenant, n)), tenant: tenant}
+	}
+	for _, c := range []*session{mk("b", 0), mk("a", 0), mk("a", 1), mk("c", 0), mk("a", 2)} {
+		q.push(c)
+	}
+	want := []SessionID{"a/0", "b/0", "c/0", "a/1", "a/2"}
+	for i, w := range want {
+		c := q.pop()
+		if c == nil || c.id != w {
+			t.Fatalf("pop %d = %v, want %s", i, c, w)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue not drained")
+	}
+}
+
+// TestServeMultiTenant is the core serving check: many sessions for
+// several tenants, driven concurrently over a small worker pool, each
+// producing exactly the result an uninterrupted private run produces.
+func TestServeMultiTenant(t *testing.T) {
+	maker := StripeProgram(3, 5, 256)
+	s := newTestServer(t, Config{Workers: 3, Slice: 2})
+	s.Register("stripe", maker)
+
+	type req struct {
+		tenant string
+		id     SessionID
+		arg    uint64
+	}
+	var reqs []req
+	for ti := 0; ti < 3; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		for k := 0; k < 4; k++ {
+			arg := uint64(100*ti + k)
+			id, err := s.Open(tenant, "stripe", arg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, req{tenant, id, arg})
+		}
+	}
+
+	results := make([]repro.RunResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r req) {
+			defer wg.Done()
+			res, err := s.Run(r.tenant, r.id)
+			if err != nil {
+				t.Errorf("run %s: %v", r.id, err)
+				return
+			}
+			results[i] = res
+		}(i, r)
+	}
+	wg.Wait()
+
+	for i, r := range reqs {
+		if want := directResult(t, maker, r.arg); results[i] != want {
+			t.Errorf("session %s: served %+v, direct %+v", r.id, results[i], want)
+		}
+	}
+
+	// Redelivery is idempotent: re-running a completed session returns
+	// the same result without executing anything.
+	before := s.Stats().Slices
+	again, err := s.Run(reqs[0].tenant, reqs[0].id)
+	if err != nil || again != results[0] {
+		t.Fatalf("redelivery: %+v, %v", again, err)
+	}
+	st := s.Stats()
+	if st.Slices != before {
+		t.Fatalf("redelivery executed %d extra slices", st.Slices-before)
+	}
+	if st.Opened != 12 || st.Completed != 12 || st.BitEqFail != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestServeResidentCapBounded is the memory claim: open sessions vastly
+// outnumber the resident cap, resident pages stay bounded by the cap
+// (plus in-flight workers), and everything still completes bit-exact
+// through evict/resume cycles.
+func TestServeResidentCapBounded(t *testing.T) {
+	const (
+		workers     = 2
+		residentCap = 3
+		sessions    = 16
+	)
+	maker := StripeProgram(2, 4, 128)
+	perPages := maxStepPages(t, maker, 0)
+
+	s := newTestServer(t, Config{Workers: workers, Resident: residentCap, Slice: 1})
+	s.Register("stripe", maker)
+
+	ids := make([]SessionID, sessions)
+	for i := range ids {
+		id, err := s.Open("acme", "stripe", uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	results := make([]repro.RunResult, sessions)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id SessionID) {
+			defer wg.Done()
+			res, err := s.Run("acme", id)
+			if err != nil {
+				t.Errorf("run %s: %v", id, err)
+				return
+			}
+			results[i] = res
+		}(i, id)
+	}
+	wg.Wait()
+
+	for i := range ids {
+		if want := directResult(t, maker, uint64(i)); results[i] != want {
+			t.Errorf("session %d: served %+v, direct %+v", i, results[i], want)
+		}
+	}
+	st := s.Stats()
+	if st.ResidentSessions > residentCap {
+		t.Errorf("resident sessions %d > cap %d", st.ResidentSessions, residentCap)
+	}
+	if bound := int64(residentCap+workers) * int64(perPages); st.ResidentPeakPages > bound {
+		t.Errorf("peak resident pages %d > bound %d (cap %d + %d workers, %d pages/session)",
+			st.ResidentPeakPages, bound, residentCap, workers, perPages)
+	}
+	if st.Evictions == 0 || st.Resumes == 0 {
+		t.Errorf("cap never exercised: %d evictions, %d resumes", st.Evictions, st.Resumes)
+	}
+	if st.BitEqFail != 0 {
+		t.Errorf("%d failover digest mismatches", st.BitEqFail)
+	}
+}
+
+func TestServeTenantCaps(t *testing.T) {
+	maker := StripeProgram(2, 3, 64)
+
+	t.Run("open", func(t *testing.T) {
+		s := newTestServer(t, Config{})
+		s.Register("stripe", maker)
+		s.SetCaps("acme", TenantCaps{MaxOpen: 2})
+		if _, err := s.Open("acme", "stripe", 1); err != nil {
+			t.Fatal(err)
+		}
+		id2, err := s.Open("acme", "stripe", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ce *CapError
+		if _, err := s.Open("acme", "stripe", 3); !errors.As(err, &ce) || ce.Cap != "open" {
+			t.Fatalf("third open: %v", err)
+		}
+		// Caps are per tenant: another tenant is unaffected.
+		if _, err := s.Open("rival", "stripe", 3); err != nil {
+			t.Fatalf("other tenant: %v", err)
+		}
+		// Closing frees an admission slot.
+		if err := s.CloseSession("acme", id2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Open("acme", "stripe", 3); err != nil {
+			t.Fatalf("open after close: %v", err)
+		}
+	})
+
+	t.Run("vt", func(t *testing.T) {
+		s := newTestServer(t, Config{})
+		s.Register("stripe", maker)
+		s.SetCaps("acme", TenantCaps{MaxVT: 1})
+		id1, err := s.Open("acme", "stripe", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id2, err := s.Open("acme", "stripe", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run("acme", id1); err != nil {
+			t.Fatalf("first run within budget: %v", err)
+		}
+		var ce *CapError
+		if _, err := s.Run("acme", id2); !errors.As(err, &ce) || ce.Cap != "vt" {
+			t.Fatalf("run past vt budget: %v", err)
+		}
+		if _, err := s.Open("acme", "stripe", 3); !errors.As(err, &ce) || ce.Cap != "vt" {
+			t.Fatalf("open past vt budget: %v", err)
+		}
+	})
+
+	t.Run("pages", func(t *testing.T) {
+		s := newTestServer(t, Config{})
+		s.Register("stripe", maker)
+		s.SetCaps("acme", TenantCaps{MaxPages: 1})
+		id, err := s.Open("acme", "stripe", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ce *CapError
+		if _, err := s.Run("acme", id); !errors.As(err, &ce) || ce.Cap != "pages" {
+			t.Fatalf("run past pages cap: %v", err)
+		}
+	})
+
+	t.Run("wall", func(t *testing.T) {
+		// A fake clock charging a fixed cost per reading; the budget
+		// admits the first slice and refuses the next dispatch.
+		var now int64
+		var mu sync.Mutex
+		clock := func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			now += 1000
+			return now
+		}
+		s := newTestServer(t, Config{Slice: 1, Clock: clock})
+		s.Register("stripe", maker)
+		s.SetCaps("acme", TenantCaps{MaxWallNS: 1})
+		id, err := s.Open("acme", "stripe", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ce *CapError
+		if _, err := s.Run("acme", id); !errors.As(err, &ce) || ce.Cap != "wall" {
+			t.Fatalf("run past wall budget: %v", err)
+		}
+		if st := s.Stats(); st.WallNS == 0 {
+			t.Error("clock configured but no wall time accounted")
+		}
+	})
+}
+
+func TestServeEvictCloseAndIsolation(t *testing.T) {
+	maker := StripeProgram(2, 3, 64)
+	s := newTestServer(t, Config{})
+	s.Register("stripe", maker)
+	id, err := s.Open("acme", "stripe", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("acme", id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenants cannot see (or evict, or close) each other's sessions,
+	// and the error does not reveal whether the ID exists.
+	wantMsg := fmt.Sprintf("serve: tenant rival has no session %s", id)
+	if err := s.Evict("rival", id); err == nil || err.Error() != wantMsg {
+		t.Fatalf("cross-tenant evict: %v", err)
+	}
+	if _, err := s.Run("rival", "rival/0"); err == nil {
+		t.Fatal("unknown id ran")
+	}
+
+	// A completed session still holds its final image until evicted.
+	if st := s.Stats(); st.ResidentSessions != 1 {
+		t.Fatalf("resident after run: %+v", st)
+	}
+	if err := s.Evict("acme", id); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResidentSessions != 0 || st.Evictions != 1 {
+		t.Fatalf("resident after evict: %+v", st)
+	}
+	if err := s.Evict("acme", id); err != nil {
+		t.Fatalf("evicting a cold session: %v", err)
+	}
+
+	if err := s.CloseSession("acme", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("acme", id); err == nil {
+		t.Fatal("closed session ran")
+	}
+
+	s.Shutdown()
+	if _, err := s.Open("acme", "stripe", 8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open after shutdown: %v", err)
+	}
+}
+
+// TestServeGCKeepsLiveChains closes half the sessions, collects, and
+// checks every surviving session's checkpoint chain is still fully
+// loadable while the closed sessions' manifests are gone.
+func TestServeGCKeepsLiveChains(t *testing.T) {
+	maker := StripeProgram(2, 4, 128)
+	store := repro.NewMemStore()
+	s := newTestServer(t, Config{Store: store, Workers: 2, Resident: 1, Slice: 1})
+	s.Register("stripe", maker)
+
+	const n = 6
+	ids := make([]SessionID, n)
+	for i := range ids {
+		id, err := s.Open("acme", "stripe", uint64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id SessionID) {
+			defer wg.Done()
+			if _, err := s.Run("acme", id); err != nil {
+				t.Errorf("run %s: %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// Push every final image into the store so each session has a chain
+	// head, then record which manifests must survive and which may go.
+	for _, id := range ids {
+		if err := s.Evict("acme", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headOf := func(id SessionID) repro.ChunkKey {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		m := s.sessions[id].sess.LastManifest()
+		if m == nil {
+			t.Fatalf("session %s has no chain head", id)
+		}
+		return m.Key()
+	}
+	var live, dead []repro.ChunkKey
+	for i, id := range ids {
+		key := headOf(id)
+		if i%2 == 0 {
+			live = append(live, key)
+			continue
+		}
+		dead = append(dead, key)
+		if err := s.CloseSession("acme", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed == 0 {
+		t.Error("closing half the sessions freed nothing")
+	}
+	for _, key := range live {
+		m, err := repro.LoadManifest(store, key)
+		if err != nil {
+			t.Fatalf("live chain head %s lost: %v", key, err)
+		}
+		if _, err := repro.LoadImage(store, m); err != nil {
+			t.Fatalf("live image %s lost: %v", key, err)
+		}
+	}
+	for _, key := range dead {
+		if _, err := repro.LoadManifest(store, key); err == nil {
+			t.Errorf("closed session's manifest %s survived GC", key)
+		}
+	}
+}

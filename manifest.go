@@ -23,7 +23,11 @@ package repro
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/castore"
 	"repro/internal/kernel"
@@ -200,23 +204,111 @@ func LoadImage(store BlobStore, m *Manifest) (*Image, error) {
 	return im, nil
 }
 
-// SaveTo writes the session's most recent captured checkpoint (from
-// RunToCheckpoint or a CheckpointAfter barrier) into store and returns
-// its manifest. Successive SaveTo calls on one session — and SaveTo
-// after ResumeFrom — chain their manifests, so each save stores only
-// chunks new since the previous one.
+// SaveTo writes the session's most recent captured checkpoint (the
+// resting image of a Quiescent session, or the last CheckpointAfter
+// capture) into store and returns its manifest. Successive SaveTo calls
+// on one session — and SaveTo after ResumeFrom — chain their manifests,
+// so each save stores only chunks new since the previous one. Unlike
+// Suspend, SaveTo keeps the checkpoint in memory: the session stays
+// steppable without a reload. Calling it mid-run fails with
+// *StateError.
 func (s *Session) SaveTo(store BlobStore) (*Manifest, error) {
-	s.mu.Lock()
+	if err := s.begin("SaveTo", StateIdle, StateQuiescent); err != nil {
+		return nil, err
+	}
 	defer s.mu.Unlock()
-	n := len(s.checkpoints)
-	if n == 0 {
+	img := s.current
+	if img == nil {
+		if n := len(s.checkpoints); n > 0 {
+			img = s.checkpoints[n-1]
+		}
+	}
+	if img == nil {
 		return nil, &ProgramError{Msg: "SaveTo without a captured checkpoint; use RunToCheckpoint or CheckpointAfter first"}
 	}
-	m, err := SaveImage(store, s.checkpoints[n-1], s.lastManifest)
+	m, err := SaveImage(store, img, s.lastManifest)
 	if err != nil {
 		return nil, err
 	}
 	s.lastManifest = m
+	return m, nil
+}
+
+// --- chain-head files ---------------------------------------------------------
+
+// HeadError reports a damaged or dangling chain-head file: truncated or
+// unparsable contents, or a head naming a manifest the store does not
+// hold or whose framing CRC fails. It distinguishes "the head itself is
+// bad" from ordinary I/O errors (which pass through unwrapped).
+type HeadError struct {
+	Path string // the head file
+	Msg  string
+	Err  error // underlying cause, when one exists
+}
+
+func (e *HeadError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("repro: bad chain head %s: %s: %v", e.Path, e.Msg, e.Err)
+	}
+	return fmt.Sprintf("repro: bad chain head %s: %s", e.Path, e.Msg)
+}
+
+func (e *HeadError) Unwrap() error { return e.Err }
+
+// WriteManifestHead records m's key in the head file at path
+// atomically: the key is written to a temporary file in the same
+// directory and renamed into place (the castore.DirStore pattern), so a
+// crashed writer leaves either the old head or the new one — never a
+// truncated file under the real name.
+func WriteManifestHead(path string, m *Manifest) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".head-*")
+	if err != nil {
+		return fmt.Errorf("repro: write chain head %s: %w", path, err)
+	}
+	if _, err := tmp.WriteString(m.Key().String() + "\n"); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("repro: write chain head %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("repro: write chain head %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("repro: write chain head %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadManifestHead reads the chain-head key recorded at path and loads
+// the manifest it names from store, verifying the manifest's framing
+// and CRC. A truncated or unparsable head, a head naming an absent
+// manifest, or a manifest failing its CRC all return *HeadError — the
+// caller can tell a rotten head apart from a merely missing one
+// (os.IsNotExist on the passed-through open error).
+func ReadManifestHead(store BlobStore, path string) (*Manifest, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	key, err := castore.ParseKey(strings.TrimSpace(string(text)))
+	if err != nil {
+		return nil, &HeadError{Path: path, Msg: "unparsable manifest key", Err: err}
+	}
+	b, err := store.Get(key)
+	if err != nil {
+		var miss *ChunkMissingError
+		if errors.As(err, &miss) {
+			return nil, &HeadError{Path: path, Msg: "head names a manifest the store does not hold", Err: err}
+		}
+		return nil, err
+	}
+	m, err := DecodeManifest(b)
+	if err != nil {
+		return nil, &HeadError{Path: path, Msg: "manifest fails validation", Err: err}
+	}
 	return m, nil
 }
 
@@ -225,13 +317,24 @@ func (s *Session) SaveTo(store BlobStore) (*Manifest, error) {
 // bit-identical continuation guarantee. The loaded manifest becomes
 // the session's chain parent, so a later SaveTo stores an incremental
 // checkpoint on top of m.
+//
+// Deprecation note: ResumeFrom runs the checkpoint to completion in one
+// call; BindSuspended/Step is the incremental form the serving fabric
+// uses, with the same store-backed chaining.
 func (s *Session) ResumeFrom(store BlobStore, m *Manifest, p Program) (RunResult, error) {
 	img, err := LoadImage(store, m)
 	if err != nil {
 		return RunResult{}, err
 	}
-	s.mu.Lock()
+	if err := s.beginUnbound("ResumeFrom", StateIdle, StateQuiescent); err != nil {
+		return RunResult{}, err
+	}
+	defer s.mu.Unlock()
 	s.lastManifest = m
-	s.mu.Unlock()
-	return s.runPhased(p, img, 0)
+	res, err := s.runPhased(p, img, 0, false)
+	if err == nil {
+		s.state = StateIdle
+		s.current = nil
+	}
+	return res, err
 }

@@ -8,11 +8,13 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/castore"
 	"repro/internal/core"
 	"repro/internal/dsched"
 	"repro/internal/imgenc"
 	"repro/internal/kernel"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // A Session is the library's coherent entry point: one builder that
@@ -42,16 +44,70 @@ import (
 // checksums, conflict reports and virtual times equal the uninterrupted
 // run's. Checkpointing is itself a pure observation: a run that captures
 // images is bit-identical to one that does not.
+//
+// # Lifecycle
+//
+// A Session moves through an explicit lifecycle:
+//
+//		Idle ──Bind──▶ Quiescent ──Step──▶ Running ──▶ Quiescent
+//		                  │   ▲                           │
+//		            Suspend   └─────────Step──────────────┘
+//		                  ▼
+//		               Suspended ──Close──▶ Closed
+//
+//	 - Idle: no program bound, no pending checkpoint; every entry point
+//	   is available.
+//	 - Running: an entry point is in flight. Any lifecycle call made
+//	   concurrently fails immediately with *StateError instead of
+//	   queueing behind the run (a SaveTo mid-run, a double Resume).
+//	 - Quiescent: the session rests at a phase barrier holding a
+//	   captured in-memory Image; Step continues it, Suspend evicts it to
+//	   a store, SaveTo persists it without evicting.
+//	 - Suspended: the checkpoint lives only in a BlobStore (as a chained
+//	   Manifest); the session holds no image bytes. Step transparently
+//	   resumes from the store.
+//	 - Closed: terminal; everything but State and Close fails with
+//	   *StateError.
+//
+// The stepped form (Bind/Step/Suspend) is what a multi-tenant server
+// drives (internal/serve): sessions run one timeslice at a time, yield
+// at quiescence points, and are evicted to a shared store while idle.
+// The historical one-shot entry points (Run, RunProgram,
+// RunToCheckpoint, Resume, SaveTo, ResumeFrom) remain as thin wrappers
+// over the same runner and now enforce the lifecycle with typed errors
+// instead of blocking or silently doing the wrong thing.
 type Session struct {
 	cfg SessionConfig
 
-	// mu serializes the Run* entry points and guards the per-run fields
-	// below: a Session is reusable run after run, but one run at a time —
-	// concurrent runs would cross-wire trace splicing and checkpoint
-	// collection. Concurrency belongs inside a run (the machine), not
-	// across runs of one Session; use separate Sessions to run in
-	// parallel.
+	// mu serializes the Run*/Step entry points and guards the per-run
+	// fields below: a Session is reusable run after run, but one run at
+	// a time — concurrent runs would cross-wire trace splicing and
+	// checkpoint collection. Lifecycle entry points TryLock it: a call
+	// arriving while a run is in flight gets *StateError{StateRunning}
+	// rather than blocking. Concurrency belongs inside a run (the
+	// machine), not across runs of one Session; use separate Sessions to
+	// run in parallel.
 	mu sync.Mutex
+
+	// state is the session's resting lifecycle position. StateRunning is
+	// never stored: it is implied by mu being held by an entry point.
+	state SessionState
+
+	// prog is the program bound by Bind/BindSuspended for the stepped
+	// lifecycle; nil for sessions driven by the one-shot entry points.
+	prog *Program
+
+	// current is the checkpoint the session rests at (Quiescent); nil
+	// when Idle or Suspended.
+	current *Image
+
+	// evictStore is the store Suspend evicted into (or BindSuspended
+	// named); Step resumes from it.
+	evictStore BlobStore
+
+	// pos is the last known resting phase barrier (-1 for a
+	// BindSuspended session that has not loaded its image yet).
+	pos int
 
 	// log is the live recording of the most recent Run* call (Record
 	// mode); prefix is the already-recorded log a resumed session splices
@@ -61,9 +117,107 @@ type Session struct {
 
 	checkpoints []*Image
 
-	// lastManifest is the most recent manifest this session saved (SaveTo)
-	// or resumed from (ResumeFrom); the next SaveTo chains onto it.
+	// lastManifest is the most recent manifest this session saved
+	// (SaveTo, Suspend) or resumed from (ResumeFrom, BindSuspended); the
+	// next save chains onto it.
 	lastManifest *Manifest
+}
+
+// SessionState is a Session's position in its lifecycle.
+type SessionState uint8
+
+const (
+	// StateIdle is a fresh or fully completed session: no bound program,
+	// no pending checkpoint.
+	StateIdle SessionState = iota
+	// StateRunning marks an entry point in flight.
+	StateRunning
+	// StateQuiescent is a session resting at a phase barrier with a
+	// captured in-memory checkpoint (or freshly bound, about to run
+	// phase 0).
+	StateQuiescent
+	// StateSuspended is a session whose checkpoint has been evicted to a
+	// BlobStore; only the chained manifest is held in memory.
+	StateSuspended
+	// StateClosed is terminal.
+	StateClosed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateRunning:
+		return "Running"
+	case StateQuiescent:
+		return "Quiescent"
+	case StateSuspended:
+		return "Suspended"
+	case StateClosed:
+		return "Closed"
+	}
+	return fmt.Sprintf("SessionState(%d)", uint8(s))
+}
+
+// StateError reports a lifecycle entry point invoked from a state that
+// does not permit it: SaveTo or a second Resume while a run is in
+// flight (StateRunning), Step without a bound program, Suspend with
+// nothing captured, anything but Close on a Closed session.
+type StateError struct {
+	Op    string       // the entry point that was refused
+	State SessionState // the state the session was in
+	Msg   string       // optional detail
+}
+
+func (e *StateError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("repro: %s in session state %s: %s", e.Op, e.State, e.Msg)
+	}
+	return fmt.Sprintf("repro: %s not allowed in session state %s", e.Op, e.State)
+}
+
+// begin acquires the session for the entry point op, failing with
+// *StateError when a run is already in flight (no queueing) or the
+// session is not in one of the allowed states. On success the caller
+// holds mu and must release it.
+func (s *Session) begin(op string, allowed ...SessionState) error {
+	if !s.mu.TryLock() {
+		return &StateError{Op: op, State: StateRunning}
+	}
+	for _, a := range allowed {
+		if s.state == a {
+			return nil
+		}
+	}
+	st := s.state
+	s.mu.Unlock()
+	return &StateError{Op: op, State: st}
+}
+
+// beginUnbound is begin for the one-shot entry points, which
+// additionally refuse sessions bound to a stepped program — mixing the
+// two forms would corrupt the stepped chain.
+func (s *Session) beginUnbound(op string, allowed ...SessionState) error {
+	if err := s.begin(op, allowed...); err != nil {
+		return err
+	}
+	if s.prog != nil {
+		st := s.state
+		s.mu.Unlock()
+		return &StateError{Op: op, State: st,
+			Msg: "session is bound to a stepped program; drive it with Step/Suspend/Close"}
+	}
+	return nil
+}
+
+// State reports the session's lifecycle state. A session whose mutex is
+// held by an in-flight entry point reports StateRunning.
+func (s *Session) State() SessionState {
+	if !s.mu.TryLock() {
+		return StateRunning
+	}
+	defer s.mu.Unlock()
+	return s.state
 }
 
 // SessionConfig is the unified configuration a Session is built from.
@@ -261,9 +415,13 @@ func (s *Session) deviceConfig() MachineConfig {
 
 // Run executes main as a deterministic parallel program on a fresh
 // machine built from the session configuration — the Session form of the
-// package-level Run.
+// package-level Run. Lifecycle misuse (a concurrent run in flight, a
+// closed or stepped-bound session) surfaces as a StatusNever result
+// whose Err is a *StateError.
 func (s *Session) Run(main func(rt *RT) uint64) RunResult {
-	s.mu.Lock()
+	if err := s.beginUnbound("Run", StateIdle, StateQuiescent); err != nil {
+		return RunResult{Status: kernel.StatusNever, Err: err}
+	}
 	defer s.mu.Unlock()
 	m := kernel.New(s.deviceConfig())
 	return m.Run(func(env *kernel.Env) {
@@ -312,18 +470,41 @@ func (e *ProgramError) Error() string { return "repro: program: " + e.Msg }
 // at the configured CheckpointAfter barriers (available from
 // Checkpoints afterwards). It returns the machine result and the first
 // program error (phase error, conflict, crash) if any.
+//
+// Deprecation note: RunProgram is the one-shot form kept for existing
+// callers; code that needs to interleave many programs (a server)
+// should Bind the program and drive it with Step, which runs the same
+// phased runner one timeslice at a time.
 func (s *Session) RunProgram(p Program) (RunResult, error) {
-	return s.runPhased(p, nil, 0)
+	if err := s.beginUnbound("RunProgram", StateIdle, StateQuiescent); err != nil {
+		return RunResult{}, err
+	}
+	defer s.mu.Unlock()
+	res, err := s.runPhased(p, nil, 0, false)
+	if err == nil {
+		s.state = StateIdle
+		s.current = nil
+	}
+	return res, err
 }
 
 // RunToCheckpoint runs the first afterPhases phases of p, captures an
 // Image at that barrier, and halts the machine. Resume continues from
-// the image.
+// the image. The session is left Quiescent at that barrier, so SaveTo
+// and Suspend apply to the returned image.
+//
+// Deprecation note: RunToCheckpoint predates the stepped lifecycle;
+// Bind + Step(afterPhases) reaches the same barrier and keeps the
+// session steppable afterwards.
 func (s *Session) RunToCheckpoint(p Program, afterPhases int) (*Image, error) {
 	if afterPhases < 1 || afterPhases > p.Phases {
 		return nil, &ProgramError{Msg: fmt.Sprintf("checkpoint barrier %d outside [1,%d]", afterPhases, p.Phases)}
 	}
-	_, err := s.runPhased(p, nil, afterPhases)
+	if err := s.beginUnbound("RunToCheckpoint", StateIdle, StateQuiescent); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	_, err := s.runPhased(p, nil, afterPhases, false)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +512,10 @@ func (s *Session) RunToCheckpoint(p Program, afterPhases int) (*Image, error) {
 	if n == 0 {
 		return nil, &ProgramError{Msg: "run ended before the checkpoint barrier"}
 	}
-	return s.checkpoints[n-1], nil
+	s.current = s.checkpoints[n-1]
+	s.pos = s.current.Phase
+	s.state = StateQuiescent
+	return s.current, nil
 }
 
 // Resume continues p from a previously captured image on a fresh
@@ -339,16 +523,32 @@ func (s *Session) RunToCheckpoint(p Program, afterPhases int) (*Image, error) {
 // configuration must match the one the image was captured under
 // (machine shape and cost model are validated against the image). The
 // result is bit-identical to the uninterrupted run's: same checksums,
-// same conflict report, same virtual time.
+// same conflict report, same virtual time. A second Resume issued while
+// one is in flight fails with *StateError instead of queueing.
+//
+// Deprecation note: Resume runs the image to completion in one call;
+// BindSuspended/Step is the incremental, store-backed form the serving
+// fabric uses.
 func (s *Session) Resume(img *Image, p Program) (RunResult, error) {
-	return s.runPhased(p, img, 0)
+	if err := s.beginUnbound("Resume", StateIdle, StateQuiescent); err != nil {
+		return RunResult{}, err
+	}
+	defer s.mu.Unlock()
+	res, err := s.runPhased(p, img, 0, false)
+	if err == nil {
+		s.state = StateIdle
+		s.current = nil
+	}
+	return res, err
 }
 
-// runPhased is the shared phased runner. img selects resume; stopAfter
-// (when > 0) checkpoints at that barrier and halts.
-func (s *Session) runPhased(p Program, img *Image, stopAfter int) (RunResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// runPhased is the shared phased runner; the caller holds s.mu and has
+// validated the lifecycle state. img selects resume; stopAfter (when
+// > 0) checkpoints at that barrier and halts — unless resultAtStop is
+// set and the stop barrier is the final one, in which case the run
+// falls through to Result after capturing (the stepped final slice both
+// checkpoints and answers).
+func (s *Session) runPhased(p Program, img *Image, stopAfter int, resultAtStop bool) (RunResult, error) {
 	if p.Phases < 0 || (p.Phases > 0 && p.Phase == nil) {
 		return RunResult{}, &ProgramError{Msg: "Phase function missing"}
 	}
@@ -423,7 +623,7 @@ func (s *Session) runPhased(p Program, img *Image, stopAfter int) (RunResult, er
 					return
 				}
 				images = append(images, im)
-				if stopAfter == ph+1 {
+				if stopAfter == ph+1 && !(resultAtStop && stopAfter == p.Phases) {
 					return
 				}
 			}
@@ -451,6 +651,230 @@ func (s *Session) capture(env *Env, rt *RT, p Program, resumePhase int) (*Image,
 		im.TracePrefix = s.log.Clone()
 	}
 	return im, nil
+}
+
+// --- stepped lifecycle --------------------------------------------------------
+
+// StepResult describes where one Step left the session.
+type StepResult struct {
+	// Phase is the barrier the session now rests at.
+	Phase int
+	// Done reports that every phase has run; Result is valid.
+	Done bool
+	// Pages is the size of the resting checkpoint's kernel image in
+	// whole pages — the session's resident cost while Quiescent.
+	Pages int
+	// Digest is the content key of the resting checkpoint's canonical
+	// serialization. Because images are canonical, two executions of the
+	// same slice from the same checkpoint must produce equal digests —
+	// the bit-identity a retrying server asserts.
+	Digest ChunkKey
+	// Result is the machine result of the final slice (Done only).
+	Result RunResult
+}
+
+// Bind attaches a phased program to the session for stepped execution,
+// leaving it Quiescent at phase 0. A bound session is driven with
+// Step/Suspend/Close; the one-shot entry points refuse it.
+func (s *Session) Bind(p Program) error {
+	if err := s.begin("Bind", StateIdle); err != nil {
+		return err
+	}
+	defer s.mu.Unlock()
+	if p.Phases < 0 || (p.Phases > 0 && p.Phase == nil) {
+		return &ProgramError{Msg: "Phase function missing"}
+	}
+	s.prog = &p
+	s.current = nil
+	s.checkpoints = nil
+	s.lastManifest = nil
+	s.evictStore = nil
+	s.pos = 0
+	s.state = StateQuiescent
+	return nil
+}
+
+// BindSuspended attaches a program to a checkpoint that lives in a
+// store — the admission path for a session that some other process (or
+// a killed worker) left suspended. The session starts Suspended; the
+// first Step loads the image and continues it, and later saves chain
+// onto m.
+func (s *Session) BindSuspended(p Program, store BlobStore, m *Manifest) error {
+	if err := s.begin("BindSuspended", StateIdle); err != nil {
+		return err
+	}
+	defer s.mu.Unlock()
+	if p.Phases < 0 || (p.Phases > 0 && p.Phase == nil) {
+		return &ProgramError{Msg: "Phase function missing"}
+	}
+	if store == nil || m == nil {
+		return &ProgramError{Msg: "BindSuspended needs a store and a manifest"}
+	}
+	s.prog = &p
+	s.current = nil
+	s.checkpoints = nil
+	s.lastManifest = m
+	s.evictStore = store
+	s.pos = -1 // unknown until the first Step loads the image
+	s.state = StateSuspended
+	return nil
+}
+
+// Step runs the bound program forward by at most budget phases and
+// captures a checkpoint at the barrier it stops at, leaving the session
+// Quiescent there. A Suspended session transparently reloads its image
+// from the store first. The final slice both checkpoints at the last
+// barrier and computes the program result; re-stepping a finished
+// session re-derives the same result from the resting image (delivery
+// is idempotent because execution is deterministic).
+//
+// A slice that dies mid-way — a phase panics (the kernel converts the
+// panic into a trap status) or the machine traps — returns that error
+// with the pre-slice checkpoint intact, so a killed worker's slice can
+// simply be re-run; because execution is deterministic, the retry's
+// StepResult.Digest must equal the digest the first attempt would have
+// produced.
+func (s *Session) Step(budget int) (StepResult, error) {
+	if err := s.begin("Step", StateQuiescent, StateSuspended); err != nil {
+		return StepResult{}, err
+	}
+	defer s.mu.Unlock()
+	if s.prog == nil {
+		return StepResult{}, &StateError{Op: "Step", State: s.state, Msg: "no program bound; Bind one first"}
+	}
+	if budget < 1 {
+		return StepResult{}, &ProgramError{Msg: fmt.Sprintf("step budget %d (must be >= 1)", budget)}
+	}
+	p := *s.prog
+	img := s.current
+	if s.state == StateSuspended {
+		loaded, err := LoadImage(s.evictStore, s.lastManifest)
+		if err != nil {
+			return StepResult{}, err
+		}
+		img = loaded
+	}
+	pos := 0
+	if img != nil {
+		pos = img.Phase
+	}
+	stop := pos + budget
+	if stop > p.Phases {
+		stop = p.Phases
+	}
+	// Crash safety: a panic inside a phase must leave the pre-slice
+	// resting state intact so the slice can be re-run from it.
+	prevState, prevCur := s.state, s.current
+	defer func() {
+		if r := recover(); r != nil {
+			s.state, s.current = prevState, prevCur
+			panic(r)
+		}
+	}()
+	res, err := s.runPhased(p, img, stop, true)
+	if err == nil && len(s.checkpoints) == 0 && pos < p.Phases {
+		// The machine stopped before the slice's barrier: a phase panicked
+		// (the kernel converts panics into trap statuses) or trapped.
+		err = res.Err
+		if err == nil {
+			err = &ProgramError{Msg: fmt.Sprintf("slice ended before barrier %d", stop)}
+		}
+	}
+	if err != nil {
+		s.state, s.current = prevState, prevCur
+		return StepResult{}, err
+	}
+	if n := len(s.checkpoints); n > 0 {
+		s.current = s.checkpoints[n-1]
+	} else if img != nil {
+		// Re-stepping a finished program: no new barrier was crossed, the
+		// resting image is unchanged.
+		s.current = img
+	}
+	s.state = StateQuiescent
+	sr := StepResult{Phase: p.Phases}
+	if s.current != nil {
+		sr.Phase = s.current.Phase
+		sr.Pages = len(s.current.Kernel) >> vm.PageShift
+		raw, err := s.current.Bytes()
+		if err != nil {
+			return StepResult{}, err
+		}
+		sr.Digest = castore.KeyOf(raw)
+	}
+	s.pos = sr.Phase
+	sr.Done = sr.Phase == p.Phases
+	if sr.Done {
+		sr.Result = res
+	}
+	return sr, nil
+}
+
+// Suspend evicts the session's resting checkpoint into store and drops
+// it from memory, leaving the session Suspended: its only cost until
+// the next Step is the chained manifest. Successive Suspends (and
+// SaveTo) chain, so each eviction stores only chunks new since the
+// previous one.
+func (s *Session) Suspend(store BlobStore) (*Manifest, error) {
+	if err := s.begin("Suspend", StateQuiescent); err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	if s.current == nil {
+		return nil, &StateError{Op: "Suspend", State: s.state,
+			Msg: "no captured checkpoint to evict; Step first"}
+	}
+	m, err := SaveImage(store, s.current, s.lastManifest)
+	if err != nil {
+		return nil, err
+	}
+	s.lastManifest = m
+	s.evictStore = store
+	s.current = nil
+	s.checkpoints = nil
+	s.state = StateSuspended
+	return m, nil
+}
+
+// Close releases the session's in-memory run state and moves it to the
+// terminal Closed state. Closing an already-closed session is a no-op;
+// closing mid-run fails with *StateError. The store side is untouched:
+// a Suspended session's manifest chain survives its Session, and
+// LastManifest remains readable for GC rooting or re-admission.
+func (s *Session) Close() error {
+	if !s.mu.TryLock() {
+		return &StateError{Op: "Close", State: StateRunning}
+	}
+	defer s.mu.Unlock()
+	s.state = StateClosed
+	s.prog = nil
+	s.current = nil
+	s.checkpoints = nil
+	s.log = nil
+	s.prefix = nil
+	return nil
+}
+
+// Phase reports the phase barrier the session rests at: 0 for a freshly
+// bound program, -1 for a BindSuspended session that has not loaded its
+// image yet.
+func (s *Session) Phase() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current != nil {
+		return s.current.Phase
+	}
+	return s.pos
+}
+
+// LastManifest returns the most recent manifest this session saved
+// (SaveTo, Suspend) or resumed from (ResumeFrom, BindSuspended), nil
+// when none: the root to protect during store GC and the handle needed
+// to re-admit the session elsewhere.
+func (s *Session) LastManifest() *Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastManifest
 }
 
 // --- checkpoint images --------------------------------------------------------
