@@ -4,9 +4,9 @@
 GO ?= go
 
 # Output of `make bench-json`: override per PR / per CI run, e.g.
-# `make bench-json BENCH_OUT=BENCH_pr8.json`. CI uploads the file as a
+# `make bench-json BENCH_OUT=BENCH_pr9.json`. CI uploads the file as a
 # build artifact so the perf trajectory is downloadable per run.
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 
 .PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck detlint ci
 
@@ -42,7 +42,7 @@ bench:
 # serving fabric still bounds resident pages by the cap while serving
 # 1024 open sessions (killed-worker failovers asserted bit-equal).
 bench-smoke:
-	$(GO) test -bench='Fig4|DschedRound|KVTable|ClusterTable|CkptTable|ServeTable' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Fig4|MergeTable|DschedRound|KVTable|ClusterTable|CkptTable|ServeTable' -benchtime=1x -run='^$$' .
 
 # Machine-readable perf snapshot for the repo's trajectory artifacts
 # (BENCH_pr2.json and successors; see BENCH_OUT above).

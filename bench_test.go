@@ -136,8 +136,9 @@ func BenchmarkForkJoinThread(b *testing.B) {
 // other on a dirty-heavy 4-thread join: four children each dirty their
 // entire quarter of a 64 MiB region, the parent touches every page so the
 // merges take the byte-compare slow path, and all four are joined in
-// thread-id order. The two sub-benchmarks do byte-identical work (the vm
-// property tests prove it); the delta is pure engine wall-clock.
+// thread-id order. The sub-benchmarks — serial word kernel, the per-byte
+// reference kernel, and the parallel engine — do byte-identical work (the
+// vm property tests prove it); the delta is pure engine wall-clock.
 func BenchmarkMerge(b *testing.B) {
 	const (
 		mergePages   = 16 * 1024 // 64 MiB
@@ -149,6 +150,7 @@ func BenchmarkMerge(b *testing.B) {
 		cfg  vm.MergeConfig
 	}{
 		{"serial", vm.MergeConfig{}},
+		{"byteKernel", vm.MergeConfig{ByteKernel: true}},
 		{fmt.Sprintf("parallel%d", workers), vm.MergeConfig{Workers: workers}},
 	} {
 		b.Run(eng.name, func(b *testing.B) {

@@ -27,7 +27,7 @@ func DschedEngine(o Options) Table {
 		name    string
 		threads int
 		quantum int64
-		run     func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration)
+		run     func(cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration)
 	}
 	bsSize := 1 << 13
 	scanPages := 96
@@ -35,16 +35,16 @@ func DschedEngine(o Options) Table {
 		bsSize = 1 << 10
 		scanPages = 24
 	}
-	runBS := func(threads int, size int) func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration) {
+	runBS := func(threads int, size int) func(cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration) {
 		spec, _ := workload.Lookup("blackscholes")
-		return func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration) {
+		return func(cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration) {
 			return runSched(func(rt *coreRT) (uint64, dsched.Stats) {
 				return workload.BlackscholesSched(rt, threads, size, cfg)
-			}, threads, spec.SharedBytes(size))
+			}, threads, spec.SharedBytes(size), byteKernel)
 		}
 	}
-	runScan := func(threads, pages int) func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration) {
-		return func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration) {
+	runScan := func(threads, pages int) func(cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration) {
+		return func(cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration) {
 			// A realistically sized shared region (the core default is
 			// 64 MiB): the legacy loop's from-scratch snapshots pay per
 			// mapped table, which is the overhead the engine removes.
@@ -54,7 +54,7 @@ func DschedEngine(o Options) Table {
 			}
 			return runSched(func(rt *coreRT) (uint64, dsched.Stats) {
 				return workload.LockScan(rt, threads, pages, cfg)
-			}, threads, shared)
+			}, threads, shared, byteKernel)
 		}
 	}
 	var rows []row
@@ -73,11 +73,12 @@ func DschedEngine(o Options) Table {
 		ID:    "dsched",
 		Title: "dsched round engine vs pre-engine loop (threads × quantum)",
 		Header: []string{"workload", "threads", "quantum", "rounds", "skipped",
-			"adopted", "compared", "legacy", "engine", "speedup", "vt-legacy", "vt-engine"},
+			"t-resync", "t-skip", "adopted", "compared", "legacy", "engine",
+			"speedup", "vt-legacy", "vt-engine"},
 	}
 	for _, r := range rows {
-		legacyVal, legacySt, legacyVT, legacyWall := best(r.run, dsched.Config{Quantum: r.quantum, FullResync: true})
-		engineVal, st, engineVT, engineWall := best(r.run, dsched.Config{Quantum: r.quantum})
+		legacyVal, legacySt, legacyVT, legacyWall := best(r.run, dsched.Config{Quantum: r.quantum, FullResync: true}, false)
+		engineVal, st, engineVT, engineWall := best(r.run, dsched.Config{Quantum: r.quantum}, false)
 		if legacyVal != engineVal {
 			panic(fmt.Sprintf("bench: dsched %s t=%d q=%d: engine checksum %#x != legacy %#x",
 				r.name, r.threads, r.quantum, engineVal, legacyVal))
@@ -87,8 +88,52 @@ func DschedEngine(o Options) Table {
 				r.name, r.threads, r.quantum, st.Rounds, st.ThreadQuanta,
 				legacySt.Rounds, legacySt.ThreadQuanta))
 		}
+		// Every merge-kernel × epoch-granularity combination must reproduce
+		// the engine's results bit for bit — checksum, VT, schedule, merge
+		// stats. Only the resync-table telemetry may move with granularity,
+		// and the per-table epochs must account for the same table
+		// population while re-copying no more tables than whole-region
+		// epochs do (strictly fewer on the read-mostly lockscan rows, whose
+		// commits touch a handful of the region's tables).
+		combos := []struct {
+			name       string
+			gran       dsched.EpochGranularity
+			byteKernel bool
+		}{
+			{"region", dsched.EpochRegion, false},
+			{"byteKernel", dsched.EpochTable, true},
+			{"byteKernelRegion", dsched.EpochRegion, true},
+		}
+		for _, cb := range combos {
+			v, s, vt, _ := best(r.run, dsched.Config{Quantum: r.quantum, Granularity: cb.gran}, cb.byteKernel)
+			if v != engineVal || vt != engineVT || s.Rounds != st.Rounds ||
+				s.ThreadQuanta != st.ThreadQuanta || s.Merge != st.Merge {
+				panic(fmt.Sprintf("bench: dsched %s t=%d q=%d combo %s: results diverged: %#x/%d vs %#x/%d",
+					r.name, r.threads, r.quantum, cb.name, v, vt, engineVal, engineVT))
+			}
+			if cb.gran == dsched.EpochRegion {
+				if s.TablesResynced+s.TablesSkipped != st.TablesResynced+st.TablesSkipped {
+					panic(fmt.Sprintf("bench: dsched %s t=%d q=%d combo %s: table accounting %d+%d != %d+%d",
+						r.name, r.threads, r.quantum, cb.name,
+						s.TablesResynced, s.TablesSkipped, st.TablesResynced, st.TablesSkipped))
+				}
+				if st.TablesResynced > s.TablesResynced {
+					panic(fmt.Sprintf("bench: dsched %s t=%d q=%d: per-table epochs resynced %d tables, region %d",
+						r.name, r.threads, r.quantum, st.TablesResynced, s.TablesResynced))
+				}
+				if r.name == "lockscan" && !cb.byteKernel && st.TablesResynced >= s.TablesResynced {
+					panic(fmt.Sprintf("bench: dsched lockscan t=%d q=%d: per-table epochs resynced %d tables, not strictly below region's %d",
+						r.threads, r.quantum, st.TablesResynced, s.TablesResynced))
+				}
+			} else if s.TablesResynced != st.TablesResynced || s.TablesSkipped != st.TablesSkipped {
+				panic(fmt.Sprintf("bench: dsched %s t=%d q=%d combo %s: kernel changed resync telemetry %d/%d vs %d/%d",
+					r.name, r.threads, r.quantum, cb.name,
+					s.TablesResynced, s.TablesSkipped, st.TablesResynced, st.TablesSkipped))
+			}
+		}
 		t.AddRow(r.name, iv(int64(r.threads)), iv(r.quantum),
 			iv(st.Rounds), iv(st.SyncSkipped),
+			iv(st.TablesResynced), iv(st.TablesSkipped),
 			iv(int64(st.Merge.PagesAdopted)), iv(int64(st.Merge.PagesCompared)),
 			ms(legacyWall.Seconds()*1000), ms(engineWall.Seconds()*1000),
 			f2(legacyWall.Seconds()/engineWall.Seconds()),
@@ -97,20 +142,24 @@ func DschedEngine(o Options) Table {
 	t.Note("legacy re-copies and re-snapshots every runnable thread from scratch each round;")
 	t.Note("the engine waits concurrently, resnapshots incrementally and epoch-skips clean resyncs.")
 	t.Note("checksums and round counts are verified identical per row; skipped counts bare restarts.")
+	t.Note("t-resync/t-skip count shared-region tables re-copied vs skipped by per-table sync epochs;")
+	t.Note("whole-region epochs, and both merge kernels at either granularity, are re-run per row and")
+	t.Note("must reproduce checksum, VT and schedule exactly, with per-table epochs re-copying no")
+	t.Note("more (on lockscan strictly fewer) tables over the same accounted population.")
 	return t
 }
 
 // best reruns one configuration a few times and keeps the fastest wall
 // time (the deterministic outputs are identical by construction).
-func best(run func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration),
-	cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duration) {
+func best(run func(cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration),
+	cfg dsched.Config, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration) {
 	const reps = 3
 	var val uint64
 	var st dsched.Stats
 	var vt int64
 	var wall time.Duration
 	for i := 0; i < reps; i++ {
-		v, s, t, w := run(cfg)
+		v, s, t, w := run(cfg, byteKernel)
 		if i == 0 {
 			val, st, vt, wall = v, s, t, w
 			continue
@@ -128,12 +177,12 @@ func best(run func(cfg dsched.Config) (uint64, dsched.Stats, int64, time.Duratio
 // runSched executes one scheduler workload on a fresh machine, returning
 // checksum, scheduler stats, final virtual time and wall clock.
 func runSched(fn func(rt *coreRT) (uint64, dsched.Stats), threads int,
-	shared uint64) (uint64, dsched.Stats, int64, time.Duration) {
+	shared uint64, byteKernel bool) (uint64, dsched.Stats, int64, time.Duration) {
 	var value uint64
 	var stats dsched.Stats
 	start := time.Now()
 	res := core.Run(core.Options{
-		Kernel:     kernel.Config{CPUsPerNode: threads},
+		Kernel:     kernel.Config{CPUsPerNode: threads, MergeByteKernel: byteKernel},
 		SharedSize: shared,
 	}, func(rt *core.RT) uint64 {
 		value, stats = fn(rt)

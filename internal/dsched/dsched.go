@@ -83,6 +83,25 @@ const (
 	offOwner = 8 // owning thread id; written only by the master
 )
 
+// EpochGranularity selects how precisely commit epochs track changes to
+// the master's shared region.
+type EpochGranularity int
+
+const (
+	// EpochTable keeps one epoch per 4 MiB level-1 table (the default):
+	// a commit bumps only the tables it actually changed — derived from
+	// the merge's deterministic touched-table bits — so a resuming
+	// thread re-copies only those tables, through the kernel's
+	// whole-table COW fast path.
+	EpochTable EpochGranularity = iota
+	// EpochRegion keeps a single epoch for the whole shared region: any
+	// commit invalidates every thread's sync state and a resync re-copies
+	// the full region. This is the pre-table behavior, kept as the
+	// ablation baseline; results, including virtual times, are identical
+	// to EpochTable — only the host copy work differs.
+	EpochRegion
+)
+
 // Config tunes the scheduler.
 type Config struct {
 	// Quantum is the instruction limit per scheduling round. The paper's
@@ -117,6 +136,9 @@ type Config struct {
 	// virtual times — are identical; the flag exists for the invariance
 	// tests and as an ablation.
 	DisableEpochSkip bool
+	// Granularity selects per-table or whole-region commit epochs; see
+	// EpochGranularity. The zero value is EpochTable.
+	Granularity EpochGranularity
 	// FullResync reproduces the pre-engine round loop: every resync
 	// rebuilds the thread's snapshot from scratch (PutOpts.SnapFresh) and
 	// epoch skipping is disabled. Checksums and schedules are identical;
@@ -144,6 +166,13 @@ type RoundStats struct {
 	// the epoch proof showed both the shared-region copy and the
 	// re-snapshot would be no-ops, so neither was issued.
 	SyncSkipped int
+	// TablesResynced counts the 4 MiB shared-region tables re-copied
+	// into resuming threads this round; TablesSkipped counts the tables
+	// the per-table epoch proof showed current, so their copies were
+	// never issued. A full (dirty or skip-disabled) resync counts every
+	// region table as resynced.
+	TablesResynced int
+	TablesSkipped  int
 	// Merge totals the reconciliation work of this round's collections.
 	Merge vm.MergeStats
 	// VT is the master's virtual clock after the round.
@@ -152,10 +181,12 @@ type RoundStats struct {
 
 // Stats accumulates RoundStats over a scheduler's lifetime.
 type Stats struct {
-	Rounds       int64
-	ThreadQuanta int64 // total quanta executed across all threads
-	SyncSkipped  int64 // quanta started without any resynchronization
-	Merge        vm.MergeStats
+	Rounds         int64
+	ThreadQuanta   int64 // total quanta executed across all threads
+	SyncSkipped    int64 // quanta started without any resynchronization
+	TablesResynced int64 // shared-region tables re-copied across all resyncs
+	TablesSkipped  int64 // shared-region tables proven current and not copied
+	Merge          vm.MergeStats
 }
 
 type mutexState struct {
@@ -212,6 +243,17 @@ type Sched struct {
 	// master region is byte- and pointer-identical to what the thread
 	// already holds.
 	commitEpoch uint64
+	// tableEpochs refines commitEpoch to level-1 table granularity:
+	// tableEpochs[i] is the commit epoch at which region table epochLo+i
+	// last changed. A table whose epoch is <= a thread's syncEpoch is
+	// byte- and pointer-identical between master and that thread's
+	// replica (the merge's touched-table bits are deterministic and any
+	// divergence marks the table), so a resync need only copy the tables
+	// whose epoch passed the thread's. Under EpochRegion every commit
+	// stamps every table, collapsing this back to the scalar behavior.
+	tableEpochs []uint64
+	// epochLo is the level-1 index of the shared region's first table.
+	epochLo int
 }
 
 // Thread is the handle application thread code receives. Synchronization
@@ -235,7 +277,20 @@ func New(rt *core.RT, cfg Config) *Sched {
 	if cfg.FullResync {
 		cfg.DisableEpochSkip = true
 	}
-	return &Sched{rt: rt, env: rt.Env(), cfg: cfg, quantum: q, scale: 1, commitEpoch: 1}
+	base, size := rt.SharedRange()
+	if uint64(base)%vm.TableSpan != 0 || size%vm.TableSpan != 0 {
+		// Partial resyncs rely on table-aligned copies (the kernel's
+		// whole-table COW fast path, which charges only pointer-different
+		// tables). An unaligned region cannot use them; fall back to
+		// whole-region epochs, which copy exactly as the scalar-epoch
+		// engine did.
+		cfg.Granularity = EpochRegion
+	}
+	return &Sched{
+		rt: rt, env: rt.Env(), cfg: cfg, quantum: q, scale: 1, commitEpoch: 1,
+		tableEpochs: make([]uint64, (size+vm.TableSpan-1)/vm.TableSpan),
+		epochLo:     vm.TableOf(base),
+	}
 }
 
 // NewMutex creates a mutex, initially unlocked and owned by thread 0.
@@ -281,7 +336,8 @@ func (s *Sched) Run(n int, body func(t *Thread)) error {
 	s.threads = make([]*threadState, n)
 	// Round zero: fork every thread with the quantum limit armed, then
 	// collect, like any later round. The first resync is always full.
-	rs := RoundStats{Round: s.stats.Rounds + 1, Quantum: s.quantum, Ran: n}
+	rs := RoundStats{Round: s.stats.Rounds + 1, Quantum: s.quantum, Ran: n,
+		TablesResynced: n * len(s.tableEpochs)}
 	started := make([]bool, n)
 	for i := 0; i < n; i++ {
 		i := i
@@ -331,6 +387,35 @@ func (s *Sched) Run(n int, body func(t *Thread)) error {
 
 func (s *Sched) ref(id int) uint64 { return uint64(id + 1) }
 
+// bumpTouched advances the commit epoch for a merge commit, stamping the
+// region tables the merge's deterministic touched bits say it changed
+// (every table under EpochRegion).
+func (s *Sched) bumpTouched(tb *vm.TableBits) {
+	s.commitEpoch++
+	for i := range s.tableEpochs {
+		if s.cfg.Granularity == EpochRegion || tb.Test(s.epochLo+i) {
+			s.tableEpochs[i] = s.commitEpoch
+		}
+	}
+}
+
+// bumpAddrs advances the commit epoch for a master write to the given
+// shared-memory addresses (mutex hand-off words), stamping the tables
+// containing them (every table under EpochRegion).
+func (s *Sched) bumpAddrs(addrs ...vm.Addr) {
+	s.commitEpoch++
+	for _, a := range addrs {
+		if i := vm.TableOf(a) - s.epochLo; i >= 0 && i < len(s.tableEpochs) {
+			s.tableEpochs[i] = s.commitEpoch
+		}
+	}
+	if s.cfg.Granularity == EpochRegion {
+		for i := range s.tableEpochs {
+			s.tableEpochs[i] = s.commitEpoch
+		}
+	}
+}
+
 // get collects thread id: rendezvous plus shared-region merge with
 // deterministic last-writer-wins commit.
 func (s *Sched) get(id int) (kernel.ChildInfo, error) {
@@ -374,21 +459,42 @@ func (s *Sched) round() error {
 			continue
 		}
 		opts := kernel.PutOpts{Start: true, Limit: limit}
-		if s.cfg.DisableEpochSkip || t.dirty || t.syncEpoch != s.commitEpoch {
-			// Out of sync (or skipping disabled): re-copy the master's
-			// shared region and refresh the snapshot. Both operations do
-			// — and charge — work only proportional to the tables that
-			// actually diverged.
+		regionTables := len(s.tableEpochs)
+		if s.cfg.DisableEpochSkip || t.dirty {
+			// The replica diverged from its own snapshot (or skipping is
+			// disabled): re-copy the whole shared region and refresh the
+			// snapshot. Both operations do — and charge — work only
+			// proportional to the tables that actually diverged.
 			opts.Copy = &kernel.CopyRange{Src: base, Dst: base, Size: size}
 			opts.Snap = true
 			opts.SnapFresh = s.cfg.FullResync
+			rs.TablesResynced += regionTables
 			t.syncEpoch = s.commitEpoch
 			t.dirty = false
-		} else {
+		} else if stale := s.staleRuns(t.syncEpoch, base); len(stale.runs) == 0 {
 			// In sync: the thread's replica, and its snapshot, are still
 			// byte- and pointer-identical to the master region, so Copy
 			// and Snap would be no-ops. Resume bare.
 			rs.SyncSkipped++
+			rs.TablesSkipped += regionTables
+			t.syncEpoch = s.commitEpoch
+		} else {
+			// Some tables committed past the thread's sync epoch; every
+			// other table is byte- and pointer-identical on both sides, so
+			// copying only the stale ones is exactly the whole-region copy
+			// — same bytes, and same virtual time, because the kernel's
+			// table-aligned copy fast path charges only pointer-different
+			// tables and the current ones are already shared.
+			if stale.count == regionTables {
+				opts.Copy = &kernel.CopyRange{Src: base, Dst: base, Size: size}
+			} else {
+				opts.Copies = stale.runs
+			}
+			opts.Snap = true
+			rs.TablesResynced += stale.count
+			rs.TablesSkipped += regionTables - stale.count
+			t.syncEpoch = s.commitEpoch
+			t.dirty = false
 		}
 		if err := s.env.Put(s.ref(t.id), opts); err != nil {
 			return err
@@ -402,6 +508,43 @@ func (s *Sched) round() error {
 	s.handoffs()
 	s.finishRound(rs)
 	return nil
+}
+
+// staleSet describes the region tables whose epoch passed a thread's
+// sync epoch, coalesced into maximal table-aligned copy ranges.
+type staleSet struct {
+	runs  []kernel.CopyRange
+	count int
+}
+
+// staleRuns computes the stale set for a thread last synchronized at
+// syncEpoch. Only called with table-aligned regions (New falls back to
+// EpochRegion otherwise, and region mode resyncs stale sets whole).
+func (s *Sched) staleRuns(syncEpoch uint64, base vm.Addr) staleSet {
+	var out staleSet
+	lo := -1
+	flush := func(hi int) {
+		if lo < 0 {
+			return
+		}
+		addr := base + vm.Addr(uint64(lo)*vm.TableSpan)
+		out.runs = append(out.runs, kernel.CopyRange{
+			Src: addr, Dst: addr, Size: uint64(hi-lo) * vm.TableSpan,
+		})
+		lo = -1
+	}
+	for i, e := range s.tableEpochs {
+		if e > syncEpoch {
+			if lo < 0 {
+				lo = i
+			}
+			out.count++
+			continue
+		}
+		flush(i)
+	}
+	flush(len(s.tableEpochs))
+	return out
 }
 
 // collect gathers every started thread: the physical waits overlap on a
@@ -424,10 +567,11 @@ func (s *Sched) collect(started []bool, rs *RoundStats) error {
 		if err != nil {
 			return err
 		}
-		if info.Merge.TablesAdopted+info.Merge.PagesAdopted+info.Merge.BytesMerged > 0 {
+		if info.MergeTouched.Any() {
 			// The master's region changed: every thread synchronized to
-			// an earlier epoch must resync before it next runs.
-			s.commitEpoch++
+			// an earlier epoch must resync the touched tables before it
+			// next runs.
+			s.bumpTouched(&info.MergeTouched)
 		}
 		t.dirty = !info.MemClean
 		rs.Merge.Add(info.Merge)
@@ -453,6 +597,8 @@ func (s *Sched) finishRound(rs RoundStats) {
 	s.stats.Rounds++
 	s.stats.ThreadQuanta += int64(rs.Ran)
 	s.stats.SyncSkipped += int64(rs.SyncSkipped)
+	s.stats.TablesResynced += int64(rs.TablesResynced)
+	s.stats.TablesSkipped += int64(rs.TablesSkipped)
 	s.stats.Merge.Add(rs.Merge)
 	if s.cfg.AdaptiveQuantum {
 		s.adapt(rs)
@@ -579,7 +725,7 @@ func (s *Sched) handoff(m *mutexState) {
 		// runs and cannot miss its own ownership.
 		s.env.WriteU64(m.addr+offFlag, 1)
 		s.env.WriteU64(m.addr+offOwner, uint64(next))
-		s.commitEpoch++
+		s.bumpAddrs(m.addr+offFlag, m.addr+offOwner)
 		s.threads[next].blocked = false
 	}
 }

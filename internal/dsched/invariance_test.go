@@ -17,6 +17,8 @@ type engineResult struct {
 	rounds   int64
 	quanta   int64
 	merge    vm.MergeStats
+	resynced int64 // Stats.TablesResynced
+	skipped  int64 // Stats.TablesSkipped
 	perRound []RoundStats
 }
 
@@ -24,14 +26,15 @@ type engineResult struct {
 // mutex-protected counter, deliberately racy (LWW) writes, a condvar
 // handshake and a barrier — under the given scheduler and kernel merge
 // configuration, and returns the invariants.
-func runEngineWorkload(t *testing.T, cfg Config, mergeWorkers int) engineResult {
+func runEngineWorkload(t *testing.T, cfg Config, mergeWorkers int, byteKernel bool) engineResult {
 	t.Helper()
 	const n, iters = 4, 6
 	var out engineResult
 	cfg.Quantum = 900
 	cfg.OnRound = func(rs RoundStats) { out.perRound = append(out.perRound, rs) }
 	res := core.Run(core.Options{
-		Kernel: kernel.Config{CPUsPerNode: n, MergeWorkers: mergeWorkers},
+		Kernel: kernel.Config{CPUsPerNode: n, MergeWorkers: mergeWorkers,
+			MergeByteKernel: byteKernel},
 	}, func(rt *core.RT) uint64 {
 		s := New(rt, cfg)
 		mu := s.NewMutex()
@@ -81,6 +84,8 @@ func runEngineWorkload(t *testing.T, cfg Config, mergeWorkers int) engineResult 
 		st := s.Stats()
 		out.quanta = st.ThreadQuanta
 		out.merge = st.Merge
+		out.resynced = st.TablesResynced
+		out.skipped = st.TablesSkipped
 		return sig
 	})
 	if res.Status != kernel.StatusHalted {
@@ -94,10 +99,11 @@ func runEngineWorkload(t *testing.T, cfg Config, mergeWorkers int) engineResult 
 // TestRoundEngineInvariance is the PR's acceptance gate: checksums,
 // conflict behavior (the LWW merges must never raise one), round counts,
 // merge statistics and virtual times are identical for CollectWorkers in
-// {1, 2, GOMAXPROCS}, for MergeWorkers 1 vs parallel, and with
-// epoch-skipped resynchronization on and off.
+// {1, 2, GOMAXPROCS}, for MergeWorkers 1 vs parallel, with epoch-skipped
+// resynchronization on and off, at both epoch granularities, and under
+// both merge kernels.
 func TestRoundEngineInvariance(t *testing.T) {
-	base := runEngineWorkload(t, Config{}, 1)
+	base := runEngineWorkload(t, Config{}, 1, false)
 	if base.rounds < 8 {
 		t.Fatalf("workload too small to exercise the engine: %d rounds", base.rounds)
 	}
@@ -105,16 +111,22 @@ func TestRoundEngineInvariance(t *testing.T) {
 		name         string
 		cfg          Config
 		mergeWorkers int
+		byteKernel   bool
 	}
 	variants := []variant{
-		{"collect2", Config{CollectWorkers: 2}, 1},
-		{"collectMax", Config{CollectWorkers: runtime.GOMAXPROCS(0)}, 1},
-		{"mergeParallel", Config{}, runtime.GOMAXPROCS(0)},
-		{"noSkip", Config{DisableEpochSkip: true}, 1},
-		{"noSkipCollect2", Config{DisableEpochSkip: true, CollectWorkers: 2}, 2},
+		{"collect2", Config{CollectWorkers: 2}, 1, false},
+		{"collectMax", Config{CollectWorkers: runtime.GOMAXPROCS(0)}, 1, false},
+		{"mergeParallel", Config{}, runtime.GOMAXPROCS(0), false},
+		{"noSkip", Config{DisableEpochSkip: true}, 1, false},
+		{"noSkipCollect2", Config{DisableEpochSkip: true, CollectWorkers: 2}, 2, false},
+		{"epochRegion", Config{Granularity: EpochRegion}, 1, false},
+		{"epochRegionNoSkip", Config{Granularity: EpochRegion, DisableEpochSkip: true}, 1, false},
+		{"byteKernel", Config{}, 1, true},
+		{"byteKernelParallel", Config{}, runtime.GOMAXPROCS(0), true},
+		{"byteKernelRegion", Config{Granularity: EpochRegion}, 1, true},
 	}
 	for _, v := range variants {
-		got := runEngineWorkload(t, v.cfg, v.mergeWorkers)
+		got := runEngineWorkload(t, v.cfg, v.mergeWorkers, v.byteKernel)
 		if got.checksum != base.checksum {
 			t.Errorf("%s: checksum %#x != base %#x", v.name, got.checksum, base.checksum)
 		}
@@ -135,9 +147,13 @@ func TestRoundEngineInvariance(t *testing.T) {
 		}
 		for i := range got.perRound {
 			g, b := got.perRound[i], base.perRound[i]
-			// SyncSkipped legitimately differs when skipping is disabled;
-			// everything else must match round for round.
+			// SyncSkipped and the resync-table counts legitimately differ
+			// across skip and epoch-granularity settings (that telemetry
+			// measures exactly what those knobs change); everything else
+			// must match round for round.
 			g.SyncSkipped, b.SyncSkipped = 0, 0
+			g.TablesResynced, b.TablesResynced = 0, 0
+			g.TablesSkipped, b.TablesSkipped = 0, 0
 			if g != b {
 				t.Errorf("%s: round %d stats %+v != base %+v", v.name, i+1,
 					got.perRound[i], base.perRound[i])
@@ -151,7 +167,7 @@ func TestRoundEngineInvariance(t *testing.T) {
 // workload's post-barrier scan phase runs quanta that write nothing, and
 // the engine must resume those threads without resynchronization.
 func TestEpochSkipFiresOnReadMostlyPhases(t *testing.T) {
-	got := runEngineWorkload(t, Config{}, 1)
+	got := runEngineWorkload(t, Config{}, 1, false)
 	if got.perRound[len(got.perRound)-1].VT == 0 {
 		t.Fatal("round telemetry missing VT")
 	}
@@ -162,7 +178,7 @@ func TestEpochSkipFiresOnReadMostlyPhases(t *testing.T) {
 	if skipped == 0 {
 		t.Fatal("no quantum was resumed via epoch skip on a read-mostly workload")
 	}
-	off := runEngineWorkload(t, Config{DisableEpochSkip: true}, 1)
+	off := runEngineWorkload(t, Config{DisableEpochSkip: true}, 1, false)
 	var offSkipped int64
 	for _, rs := range off.perRound {
 		offSkipped += int64(rs.SyncSkipped)
@@ -176,8 +192,8 @@ func TestEpochSkipFiresOnReadMostlyPhases(t *testing.T) {
 // snapshots, no skipping) must produce the same checksum and the same
 // schedule (round count); only its cost differs.
 func TestFullResyncBaselineMatchesResults(t *testing.T) {
-	base := runEngineWorkload(t, Config{}, 1)
-	legacy := runEngineWorkload(t, Config{FullResync: true}, 1)
+	base := runEngineWorkload(t, Config{}, 1, false)
+	legacy := runEngineWorkload(t, Config{FullResync: true}, 1, false)
 	if legacy.checksum != base.checksum {
 		t.Errorf("legacy checksum %#x != engine %#x", legacy.checksum, base.checksum)
 	}
@@ -188,6 +204,34 @@ func TestFullResyncBaselineMatchesResults(t *testing.T) {
 	if legacy.vt < base.vt {
 		t.Errorf("legacy VT %d below engine VT %d: incremental resync must not cost more",
 			legacy.vt, base.vt)
+	}
+}
+
+// TestTableEpochsResyncFewerTables pins the tentpole win: per-table
+// epochs must re-copy strictly fewer shared-region tables than the
+// whole-region baseline on this workload (its read-mostly phase and its
+// localized mutex/counter writes leave most tables untouched per commit),
+// with every result invariant — checksum, VT, rounds, merge stats —
+// bit-identical, and the two telemetries accounting for the same total
+// table population.
+func TestTableEpochsResyncFewerTables(t *testing.T) {
+	table := runEngineWorkload(t, Config{}, 1, false)
+	region := runEngineWorkload(t, Config{Granularity: EpochRegion}, 1, false)
+	if table.checksum != region.checksum || table.vt != region.vt ||
+		table.rounds != region.rounds || table.merge != region.merge {
+		t.Fatalf("granularity changed results: table %+v vs region %+v", table, region)
+	}
+	if table.resynced >= region.resynced {
+		t.Errorf("per-table epochs resynced %d tables, not below region granularity's %d",
+			table.resynced, region.resynced)
+	}
+	if table.skipped <= region.skipped {
+		t.Errorf("per-table epochs skipped %d tables, not above region granularity's %d",
+			table.skipped, region.skipped)
+	}
+	if table.resynced+table.skipped != region.resynced+region.skipped {
+		t.Errorf("table accounting differs: %d+%d vs %d+%d",
+			table.resynced, table.skipped, region.resynced, region.skipped)
 	}
 }
 

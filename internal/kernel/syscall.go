@@ -125,6 +125,12 @@ type ChildInfo struct {
 	// merge and its snapshot is still exact; collectors use this to skip
 	// redundant resynchronization. False means only "no proof".
 	MemClean bool
+	// MergeTouched marks, when GetOpts.Merge ran, the level-1 tables of
+	// the parent the merge modified. Like the Merge statistics the bits
+	// are deterministic — invariant across merge workers and kernels —
+	// so collectors can bump per-table sync epochs from them instead of
+	// invalidating the whole shared region on every commit.
+	MergeTouched vm.TableBits
 }
 
 // lookupChild finds or creates the child named by ref, migrating the
@@ -297,7 +303,12 @@ func (sp *Space) get(ref uint64, o GetOpts) (ChildInfo, error) {
 		if o.MergeLWW {
 			mode = vm.MergeLastWriter
 		}
-		st, err := vm.MergeParallel(sp.mem, child.mem, child.snap, r.Addr, r.Size, mode, sp.m.mergeWorkers)
+		st, err := vm.MergeEx(sp.mem, child.mem, child.snap, r.Addr, r.Size, vm.MergeConfig{
+			Mode:       mode,
+			Workers:    sp.m.mergeWorkers,
+			ByteKernel: sp.m.mergeBytes,
+			Touched:    &info.MergeTouched,
+		})
 		info.Merge = st
 		info.MemClean = child.mem.CleanSince(child.snap)
 		// Adopted pages are pte moves; compared pages walk all 4 KiB.

@@ -111,3 +111,70 @@ func BenchmarkBulkReadWrite(b *testing.B) {
 	}
 	b.SetBytes(int64(2 * len(buf)))
 }
+
+// Page-spanning bulk access benchmarks for the single-walk Read/Write
+// path: one cursor walk per page instead of an entry() permission lookup
+// followed by a second split/ownTable walk inside writablePage. The
+// "cowbreak" variant re-shares the pages each iteration so every
+// full-page store exercises the fresh-page install path (no read-copy);
+// "owned" writes through already-private pages, the steady-state loop.
+
+// benchSpanPages is sized to cross a level-1 table boundary so the walk
+// exercises the table-cursor reload, not just one cached table.
+const benchSpanPages = tableEntries + 64
+
+func BenchmarkPageSpanWrite(b *testing.B) {
+	buf := make([]byte, benchSpanPages*PageSize)
+	for i := range buf {
+		buf[i] = byte(i >> 4)
+	}
+	b.Run("owned", func(b *testing.B) {
+		s := benchSpace(benchSpanPages)
+		b.SetBytes(int64(len(buf)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Write(0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cowbreak", func(b *testing.B) {
+		src := benchSpace(benchSpanPages)
+		s := NewSpace()
+		b.SetBytes(int64(len(buf)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s.CopyAllFrom(src) // restore sharing: every page write must COW
+			b.StartTimer()
+			if err := s.Write(0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unaligned", func(b *testing.B) {
+		// Offset by half a page: every store is partial, so the walk cost
+		// is the same but the fresh-install fast path never applies.
+		s := benchSpace(benchSpanPages)
+		p := buf[:len(buf)-PageSize]
+		b.SetBytes(int64(len(p)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Write(PageSize/2, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPageSpanRead(b *testing.B) {
+	s := benchSpace(benchSpanPages)
+	buf := make([]byte, benchSpanPages*PageSize)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Read(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

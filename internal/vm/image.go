@@ -242,9 +242,8 @@ func DecodeForest(data []byte) ([]*Space, error) {
 	}
 	pages := make([]*page, 0, max(nPages, 0))
 	for i := 0; i < nPages && r.Err == nil; i++ {
-		pg := newPage()
+		pg := newPageFrom(r.Take(PageSize))
 		pg.refs.Store(0) // references added as ptes adopt the page
-		copy(pg.data[:], r.Take(PageSize))
 		pages = append(pages, pg)
 	}
 

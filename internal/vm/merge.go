@@ -1,8 +1,10 @@
 package vm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,6 +97,20 @@ type MergeConfig struct {
 	// result is identical; benchmarks and the equivalence property test
 	// use this to measure and verify the unguided path.
 	NoDirtyHints bool
+	// ByteKernel selects the per-byte reference merge kernel — the
+	// original decode-every-differing-word-into-bytes slow path — instead
+	// of the word-masked kernel. The two produce bit-identical
+	// destination bytes, statistics and conflict lists (property-tested);
+	// the reference kernel is kept as the oracle for those tests and as
+	// the benchmark baseline the word kernel is measured against.
+	ByteKernel bool
+	// Touched, if non-nil, gets a bit set for every level-1 table of dst
+	// this merge modified (whole-table adoptions, page adoptions, and
+	// byte merges alike). Like the semantic MergeStats fields the bits
+	// are invariant across workers, dirty hints and kernel choice, so
+	// collectors can use them to maintain per-table commit epochs
+	// deterministically.
+	Touched *TableBits
 }
 
 // Merge folds the child's changes since its reference snapshot into dst
@@ -174,6 +190,18 @@ type tableJob struct {
 type tableResult struct {
 	st       MergeStats
 	conflict MergeConflictError
+	touched  bool // job modified dst's level-1 slot
+}
+
+// mergeCtx carries one job's merge parameters and output sinks. Every
+// sink is owned by the job (results are recombined in address order), so
+// parallel workers never share mutable state through it.
+type mergeCtx struct {
+	mode       MergeMode
+	byteKernel bool
+	st         *MergeStats
+	conflict   *MergeConflictError
+	touched    *bool
 }
 
 // MergeEx is the full-control merge entry point; see MergeConfig.
@@ -221,7 +249,14 @@ func MergeEx(dst, cur, ref *Space, addr Addr, size uint64, cfg MergeConfig) (Mer
 	conflict := &MergeConflictError{}
 	if workers <= 1 {
 		for _, j := range jobs {
-			mergeTable(dst, cur, ref, j, cfg.Mode, &st, conflict)
+			var touched bool
+			mergeTable(dst, cur, ref, j, mergeCtx{
+				mode: cfg.Mode, byteKernel: cfg.ByteKernel,
+				st: &st, conflict: conflict, touched: &touched,
+			})
+			if touched && cfg.Touched != nil {
+				cfg.Touched.Set(j.l1)
+			}
 		}
 	} else {
 		// Each job owns a distinct level-1 slot of dst (root pointer,
@@ -231,8 +266,11 @@ func MergeEx(dst, cur, ref *Space, addr Addr, size uint64, cfg MergeConfig) (Mer
 		// below in ascending address order — identical to serial.
 		results := make([]tableResult, len(jobs))
 		ParallelFor(len(jobs), workers, func(i int) {
-			mergeTable(dst, cur, ref, jobs[i], cfg.Mode,
-				&results[i].st, &results[i].conflict)
+			mergeTable(dst, cur, ref, jobs[i], mergeCtx{
+				mode: cfg.Mode, byteKernel: cfg.ByteKernel,
+				st: &results[i].st, conflict: &results[i].conflict,
+				touched: &results[i].touched,
+			})
 		})
 		for i := range results {
 			st.Add(results[i].st)
@@ -242,6 +280,9 @@ func MergeEx(dst, cur, ref *Space, addr Addr, size uint64, cfg MergeConfig) (Mer
 				}
 			}
 			conflict.Total += results[i].conflict.Total
+			if results[i].touched && cfg.Touched != nil {
+				cfg.Touched.Set(jobs[i].l1)
+			}
 		}
 	}
 	if conflict.Total > 0 {
@@ -250,13 +291,70 @@ func MergeEx(dst, cur, ref *Space, addr Addr, size uint64, cfg MergeConfig) (Mer
 	return st, nil
 }
 
+// dstCursor resolves dst's level-1 slot once per merge job instead of
+// once per page. The owned level-2 table and its dirty bitmap are cached
+// on first write, so the per-page writable-page path is a pte load, a
+// refcount check and a bit set — no repeated root walk, ownTable refcount
+// inspection or dirty-bitmap lookup. The cursor is job-local state over a
+// level-1 slot the job owns exclusively, like everything else the merge
+// mutates.
+type dstCursor struct {
+	s  *Space
+	l1 int
+	t  *table     // privately-owned level-2 table, resolved lazily
+	db *dirtyBits // dst's dirty bitmap for l1, resolved with t
+}
+
+// entry reads dst's pte for l2, through the owned table once one exists.
+func (dc *dstCursor) entry(l2 int) pte {
+	t := dc.t
+	if t == nil {
+		if t = dc.s.root[dc.l1]; t == nil {
+			return pte{}
+		}
+	}
+	return t.ptes[l2]
+}
+
+// own returns dst's privately-owned table for the cursor's slot,
+// breaking table sharing on first use.
+func (dc *dstCursor) own() *table {
+	if dc.t == nil {
+		dc.t = dc.s.ownTable(dc.l1)
+		dc.db = dc.s.dirtyTable(dc.l1)
+	}
+	return dc.t
+}
+
+// writablePage marks l2 dirty and returns a privately-owned page there,
+// breaking page sharing as needed — Space.writablePage minus the
+// per-page table walk.
+func (dc *dstCursor) writablePage(l2 int) *page {
+	t := dc.own()
+	dc.db[l2>>6] |= 1 << (uint(l2) & 63)
+	e := t.ptes[l2]
+	switch {
+	case e.pg == nil:
+		e.pg = newPage()
+		t.ptes[l2] = e
+	case e.pg.refs.Load() > 1:
+		np := newPage()
+		np.data = e.pg.data
+		e.pg.refs.Add(-1)
+		e.pg = np
+		t.ptes[l2] = e
+	}
+	return e.pg
+}
+
 // mergeTable merges one job's slice of a level-2 table into dst. It is the
 // unit of parallelism: everything it mutates hangs off dst's level-1 slot
 // job.l1, which the job owns exclusively.
-func mergeTable(dst, cur, ref *Space, job tableJob, mode MergeMode, st *MergeStats, conflict *MergeConflictError) {
+func mergeTable(dst, cur, ref *Space, job tableJob, c mergeCtx) {
 	l1 := job.l1
 	ct := cur.root[l1]
 	rt := ref.root[l1]
+	st := c.st
 	if dt := dst.root[l1]; dt == rt && job.lo == 0 && job.hi == tableEntries {
 		// The parent still shares the snapshot's table: it has not
 		// touched this span since the fork, so adopting the child's
@@ -284,8 +382,10 @@ func mergeTable(dst, cur, ref *Space, job tableJob, mode MergeMode, st *MergeSta
 		dst.root[l1] = shareTable(ct)
 		dst.markTableDirty(l1)
 		st.TablesAdopted++
+		*c.touched = true
 		return
 	}
+	dc := dstCursor{s: dst, l1: l1}
 	visit := func(l2 int) {
 		st.PtesScanned++
 		ce := ct.ptes[l2]
@@ -297,7 +397,7 @@ func mergeTable(dst, cur, ref *Space, job tableJob, mode MergeMode, st *MergeSta
 			return // child did not change this page
 		}
 		pa := Addr(uint64(l1)<<l1Shift) + Addr(l2)<<l2Shift
-		mergePage(dst, pa, ce, re, mode, st, conflict)
+		mergePage(&dc, pa, l2, ce, re, c)
 	}
 	if job.db != nil {
 		job.db.forEachSetBit(job.lo, job.hi, visit)
@@ -308,16 +408,18 @@ func mergeTable(dst, cur, ref *Space, job tableJob, mode MergeMode, st *MergeSta
 	}
 }
 
-// mergePage merges one child page at address pa into dst.
-func mergePage(dst *Space, pa Addr, ce, re pte, mode MergeMode, st *MergeStats, conflict *MergeConflictError) {
-	de := dst.entry(pa)
+// mergePage merges one child page at address pa into dst. The adoption
+// fast path is kernel-independent; pages that need a real three-way
+// compare go to the word-masked kernel or, under MergeConfig.ByteKernel,
+// the per-byte reference kernel.
+func mergePage(dc *dstCursor, pa Addr, l2 int, ce, re pte, c mergeCtx) {
+	de := dc.entry(l2)
 	if de.pg == re.pg {
 		// Fast path: the parent has not touched this page since the
 		// snapshot (it still shares the snapshot's page), so adopting the
 		// child's whole page is byte-for-byte equivalent to copying only
 		// the changed bytes.
-		l1, l2 := split(pa)
-		t := dst.ownTable(l1)
+		t := dc.own()
 		if old := t.ptes[l2].pg; old != nil {
 			old.refs.Add(-1)
 		}
@@ -329,13 +431,25 @@ func mergePage(dst *Space, pa Addr, ce, re pte, mode MergeMode, st *MergeStats, 
 			perm = ce.perm
 		}
 		t.ptes[l2] = pte{pg: ce.pg, perm: perm}
-		dst.markDirty(pa)
-		st.PagesAdopted++
+		dc.db[l2>>6] |= 1 << (uint(l2) & 63)
+		c.st.PagesAdopted++
+		*c.touched = true
 		return
 	}
+	if c.byteKernel {
+		mergePageBytes(dc, pa, l2, ce, re, de, c)
+	} else {
+		mergePageWords(dc, pa, l2, ce, re, de, c)
+	}
+}
 
-	// Slow path: both sides may have changed; compare byte by byte,
-	// eight bytes at a time.
+// mergePageBytes is the reference merge kernel: compare eight bytes at a
+// time, decode every differing word into a per-byte loop. It defines the
+// merge semantics the word kernel must reproduce bit-for-bit — bytes,
+// statistics and conflict addresses — and serves as the oracle in the
+// kernel equivalence property test and as the benchmark baseline.
+func mergePageBytes(dc *dstCursor, pa Addr, l2 int, ce, re pte, de pte, c mergeCtx) {
+	st, conflict := c.st, c.conflict
 	st.PagesCompared++
 	curD, refD, dstD := dataOf(ce.pg), dataOf(re.pg), dataOf(de.pg)
 	var wp *page // writable dst page, fetched lazily
@@ -352,7 +466,7 @@ func mergePage(dst *Space, pa Addr, ce, re pte, mode MergeMode, st *MergeStats, 
 			if cb == rb {
 				continue
 			}
-			if byte(dw>>sh) != rb && mode == MergeStrict {
+			if byte(dw>>sh) != rb && c.mode == MergeStrict {
 				// Parent changed this byte too: write/write conflict.
 				if len(conflict.Addrs) < maxReportedConflicts {
 					conflict.Addrs = append(conflict.Addrs, pa+Addr(off+b))
@@ -361,12 +475,142 @@ func mergePage(dst *Space, pa Addr, ce, re pte, mode MergeMode, st *MergeStats, 
 				continue
 			}
 			if wp == nil {
-				wp = dst.writablePage(pa)
+				wp = dc.writablePage(l2)
+				*c.touched = true
 			}
 			wp.data[off+b] = cb
 			st.BytesMerged++
 		}
 	}
+}
+
+// byteMaskOf expands a word x into a byte mask: every byte of the result
+// is 0xFF where the corresponding byte of x is nonzero, 0x00 where it is
+// zero. The OR-fold collapses each byte's bits into its bit 0 (shifts of
+// at most 7 never cross into a lower byte's bit 0), and the multiply
+// smears bit 0 across the byte.
+func byteMaskOf(x uint64) uint64 {
+	m := x | x>>4
+	m |= m >> 2
+	m |= m >> 1
+	m &= 0x0101010101010101
+	return m * 0xFF
+}
+
+// mergeBlock and mergeStride are the two spans the word kernel
+// pre-filters with bytes.Equal before walking words. Equal spans — the
+// common case on pages where a child touched a few bytes — are skipped
+// at memequal (SIMD) speed; the two-level hierarchy (page quarters,
+// then 256-byte strides inside a differing quarter) keeps the call
+// count low on mostly-clean pages without widening the word walk.
+const (
+	mergeBlock  = 1024
+	mergeStride = 256
+)
+
+// mergePageWords is the word-masked merge kernel. It produces destination
+// bytes, statistics and conflict addresses bit-identical to
+// mergePageBytes (property-tested in merge_kernel_test.go) while moving
+// data a word or a run at a time:
+//
+//   - a whole-page bytes.Equal prefilter, then a bytes.Equal skip per
+//     256-byte stride, dispose of the unchanged spans at memequal speed;
+//   - each differing word derives a byte mask from cw^rw; the strict-mode
+//     conflict test for all eight bytes is one masked compare of dw^rw;
+//   - conflict-free words merge with a single masked 8-byte store, and
+//     BytesMerged is the mask's byte population count;
+//   - maximal runs of fully-changed words coalesce into one copy().
+//
+// Conflict words (strict mode only) fall back to the per-byte decode so
+// conflict addresses are recorded in the same ascending order, and the
+// non-conflicting bytes of such words still merge, exactly as the
+// reference kernel does.
+func mergePageWords(dc *dstCursor, pa Addr, l2 int, ce, re pte, de pte, c mergeCtx) {
+	st, conflict := c.st, c.conflict
+	st.PagesCompared++
+	curD, refD, dstD := dataOf(ce.pg), dataOf(re.pg), dataOf(de.pg)
+	if bytes.Equal(curD[:], refD[:]) {
+		return // child did not change a byte; nothing to merge
+	}
+	var wp *page // writable dst page, fetched lazily
+	writable := func() *page {
+		if wp == nil {
+			wp = dc.writablePage(l2)
+			*c.touched = true
+		}
+		return wp
+	}
+	// runStart tracks a pending run of fully-changed words; flush copies
+	// the run [runStart, end) from the child in one memmove.
+	runStart := -1
+	flush := func(end int) {
+		if runStart < 0 {
+			return
+		}
+		p := writable()
+		copy(p.data[runStart:end], curD[runStart:end])
+		st.BytesMerged += end - runStart
+		runStart = -1
+	}
+	for blk := 0; blk < PageSize; blk += mergeBlock {
+		if bytes.Equal(curD[blk:blk+mergeBlock], refD[blk:blk+mergeBlock]) {
+			flush(blk)
+			continue
+		}
+		for base := blk; base < blk+mergeBlock; base += mergeStride {
+			if bytes.Equal(curD[base:base+mergeStride], refD[base:base+mergeStride]) {
+				flush(base)
+				continue
+			}
+			for off := base; off < base+mergeStride; off += 8 {
+				cw := binary.LittleEndian.Uint64(curD[off:])
+				rw := binary.LittleEndian.Uint64(refD[off:])
+				x := cw ^ rw
+				if x == 0 {
+					flush(off)
+					continue
+				}
+				mask := byteMaskOf(x)
+				dw := binary.LittleEndian.Uint64(dstD[off:])
+				if c.mode == MergeStrict && (dw^rw)&mask != 0 {
+					// At least one child-changed byte was changed by the
+					// parent too. Decode per byte: record conflicts in
+					// ascending address order, merge the rest.
+					flush(off)
+					for b := 0; b < 8; b++ {
+						sh := 8 * b
+						cb, rb := byte(cw>>sh), byte(rw>>sh)
+						if cb == rb {
+							continue
+						}
+						if byte(dw>>sh) != rb {
+							if len(conflict.Addrs) < maxReportedConflicts {
+								conflict.Addrs = append(conflict.Addrs, pa+Addr(off+b))
+							}
+							conflict.Total++
+							continue
+						}
+						writable().data[off+b] = cb
+						st.BytesMerged++
+					}
+					continue
+				}
+				if mask == ^uint64(0) {
+					// Fully-changed word: extend the pending run instead of
+					// storing now; adjacent full words become one copy().
+					if runStart < 0 {
+						runStart = off
+					}
+					continue
+				}
+				flush(off)
+				merged := (dw &^ mask) | (cw & mask)
+				binary.LittleEndian.PutUint64(writable().data[off:], merged)
+				st.BytesMerged += bits.OnesCount64(mask) >> 3
+			}
+		}
+	}
+	flush(PageSize)
 }
 
 // CopyAllFrom replaces the entire contents of s with a COW clone of src,

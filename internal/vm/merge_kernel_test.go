@@ -1,0 +1,136 @@
+package vm
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// Oracle property test for the word-masked merge kernel: mergePageWords
+// must reproduce mergePageBytes — the per-byte reference kernel kept
+// behind MergeConfig.ByteKernel — bit for bit: destination bytes, every
+// MergeStats field, the conflict address list (order included), and the
+// Touched table bits, in both conflict modes and at Workers 1 and
+// GOMAXPROCS. Scenarios deliberately plant overlapping writes that
+// straddle 8-byte word boundaries (where the masked conflict test and the
+// per-byte fallback meet) and page edges (where a page's word walk ends),
+// plus a fully-rewritten compared page (maximal full-word runs for the
+// copy() coalescing path).
+
+// plantStraddles appends child/parent writes that overlap across an
+// 8-byte word boundary inside a page, across a page edge, and over one
+// fully-rewritten page the parent also touched (so it is byte-compared,
+// not adopted).
+func plantStraddles(rng *rand.Rand, childOps, parentOps []memOp) (c, p []memOp) {
+	pages := propSpan / PageSize
+	// Word-boundary straddle: child [base+5, base+11) vs parent
+	// [base+6, base+13) — the overlap crosses the boundary at base+8.
+	base := Addr(rng.Intn(pages))*PageSize + Addr(8*(1+rng.Intn(400)))
+	childOps = append(childOps, memOp{addr: base + 5, data: randBytes(rng, 6)})
+	parentOps = append(parentOps, memOp{addr: base + 6, data: randBytes(rng, 7)})
+	// Page-edge straddle: overlapping writes crossing a page boundary.
+	edge := Addr(1+rng.Intn(pages-1)) * PageSize
+	childOps = append(childOps, memOp{addr: edge - 4, data: randBytes(rng, 9)})
+	parentOps = append(parentOps, memOp{addr: edge - 2, data: randBytes(rng, 5)})
+	// Fully-rewritten page, kept off the adoption fast path by a one-byte
+	// parent write.
+	full := Addr(rng.Intn(pages)) * PageSize
+	childOps = append(childOps, memOp{addr: full, data: randBytes(rng, PageSize)})
+	parentOps = append(parentOps, memOp{addr: full + Addr(rng.Intn(PageSize)), data: randBytes(rng, 1)})
+	return childOps, parentOps
+}
+
+func TestMergeKernelsEquivalentProperty(t *testing.T) {
+	workersList := []int{1, runtime.GOMAXPROCS(0)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parent := NewSpace()
+		if err := parent.SetPerm(0, propSpan, PermRW); err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, parent, randOps(rng, 8, propSpan))
+		childOps, parentOps := plantStraddles(rng,
+			randOps(rng, 8, propSpan), randOps(rng, 4, propSpan))
+
+		for _, mode := range []MergeMode{MergeStrict, MergeLastWriter} {
+			var oracleTouched TableBits
+			oracle := runMerge(t, parent, childOps, parentOps, 0, propSpan,
+				MergeConfig{Mode: mode, ByteKernel: true, Touched: &oracleTouched})
+			for _, workers := range workersList {
+				var touched TableBits
+				got := runMerge(t, parent, childOps, parentOps, 0, propSpan,
+					MergeConfig{Mode: mode, Workers: workers, Touched: &touched})
+				if diff := outcomesEqual(oracle, got, false); diff != "" {
+					t.Errorf("seed %d mode %v workers %d: word kernel differs from byte oracle: %s",
+						seed, mode, workers, diff)
+					return false
+				}
+				if touched != oracleTouched {
+					t.Errorf("seed %d mode %v workers %d: touched tables differ: %d vs oracle %d",
+						seed, mode, workers, touched.Count(), oracleTouched.Count())
+					return false
+				}
+			}
+		}
+		parent.Free()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeKernelStraddledConflicts pins the boundary cases directly: a
+// fixed scenario whose strict-mode conflict list contains adjacent
+// conflicting bytes on both sides of an 8-byte word boundary and on both
+// sides of a page edge, and every kernel/worker combination must agree
+// on that list exactly.
+func TestMergeKernelStraddledConflicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parent := NewSpace()
+	if err := parent.SetPerm(0, propSpan, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, parent, randOps(rng, 4, propSpan))
+	wordBase := Addr(3*PageSize + 64)
+	edge := Addr(5 * PageSize)
+	// Overlaps are kept small enough that both straddles land inside the
+	// maxReportedConflicts-entry address list.
+	childOps := []memOp{
+		{addr: wordBase + 7, data: randBytes(rng, 2)}, // crosses word boundary at +8
+		{addr: edge - 4, data: randBytes(rng, 9)},     // crosses the page edge
+	}
+	parentOps := []memOp{
+		{addr: wordBase + 7, data: randBytes(rng, 2)},
+		{addr: edge - 4, data: randBytes(rng, 9)},
+	}
+
+	oracle := runMerge(t, parent, childOps, parentOps, 0, propSpan,
+		MergeConfig{Mode: MergeStrict, ByteKernel: true})
+	if oracle.total == 0 {
+		t.Fatalf("constructed scenario produced no conflicts: %+v", oracle.st)
+	}
+	straddlesWord, straddlesEdge := false, false
+	for i := 1; i < len(oracle.addrs); i++ {
+		a, b := oracle.addrs[i-1], oracle.addrs[i]
+		if a+1 == b && b%8 == 0 {
+			if b%PageSize == 0 {
+				straddlesEdge = true
+			} else {
+				straddlesWord = true
+			}
+		}
+	}
+	if !straddlesWord || !straddlesEdge {
+		t.Fatalf("conflict list %v does not straddle a word boundary (%v) and a page edge (%v)",
+			oracle.addrs, straddlesWord, straddlesEdge)
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		got := runMerge(t, parent, childOps, parentOps, 0, propSpan,
+			MergeConfig{Mode: MergeStrict, Workers: workers})
+		if diff := outcomesEqual(oracle, got, false); diff != "" {
+			t.Errorf("workers %d: word kernel differs from byte oracle: %s", workers, diff)
+		}
+	}
+}

@@ -103,6 +103,17 @@ func newPage() *page {
 	return p
 }
 
+// newPageFrom returns a fresh exclusively-owned page holding a copy of b
+// (at most PageSize bytes). It is the install path for whole-page data
+// arriving from outside the space — full-page-aligned Writes and
+// image/chunk decode — which never needs the read-copy COW break: the
+// incoming bytes replace the entire page, so nothing old is worth saving.
+func newPageFrom(b []byte) *page {
+	p := newPage()
+	copy(p.data[:], b)
+	return p
+}
+
 // pte is a page-table entry: a permission plus an optional backing page.
 // A mapped entry with a nil page reads as zeros ("lazy zero page"); the
 // backing page is allocated on first write.
@@ -428,9 +439,22 @@ func (s *Space) writablePage(a Addr) *page {
 
 // Read copies len(p) bytes starting at addr into p. The range may cross
 // page boundaries but every page touched must be mapped with PermR.
+//
+// The walk is a single cursor over the page tables: the level-2 table is
+// resolved once per level-1 slot (1024 pages), not once per page, and the
+// pte it yields serves both the permission check and the data access.
 func (s *Space) Read(addr Addr, p []byte) error {
+	curL1 := -1
+	var t *table
 	for len(p) > 0 {
-		e := s.entry(addr)
+		l1, l2 := split(addr)
+		if l1 != curL1 {
+			t, curL1 = s.root[l1], l1
+		}
+		var e pte
+		if t != nil {
+			e = t.ptes[l2]
+		}
 		if e.perm&PermR == 0 {
 			return &AccessError{Addr: addr, Perm: e.perm}
 		}
@@ -449,16 +473,61 @@ func (s *Space) Read(addr Addr, p []byte) error {
 
 // Write copies p into the space starting at addr. Every page touched must
 // be mapped with PermW; COW sharing is broken as needed.
+//
+// Like Read this is one cursor walk: the pte that passes the permission
+// check is the pte the write goes through — no second entry()/ownTable
+// lookup per page — and the dirty bitmap is fetched once per level-1
+// slot. Full-page-aligned stores that would need a COW break instead
+// install a fresh page initialized straight from the incoming bytes,
+// skipping the read-copy of data that is about to be overwritten.
 func (s *Space) Write(addr Addr, p []byte) error {
+	curL1 := -1
+	var t *table      // s.root[curL1], privately owned once written through
+	var db *dirtyBits // dirty bitmap for curL1
 	for len(p) > 0 {
-		e := s.entry(addr)
+		l1, l2 := split(addr)
+		if l1 != curL1 {
+			t, curL1, db = s.root[l1], l1, nil
+		}
+		var e pte
+		if t != nil {
+			e = t.ptes[l2]
+		}
 		if e.perm&PermW == 0 {
 			return &AccessError{Addr: addr, Write: true, Perm: e.perm}
 		}
+		if t == nil || t.refs.Load() > 1 {
+			t = s.ownTable(l1)
+			e = t.ptes[l2]
+		}
+		if db == nil {
+			db = s.dirtyTable(l1)
+		}
+		db[l2>>6] |= 1 << (uint(l2) & 63)
 		off := int(addr & pageMask)
 		n := min(PageSize-off, len(p))
-		pg := s.writablePage(addr)
-		copy(pg.data[off:off+n], p[:n])
+		pg := e.pg
+		if n == PageSize && (pg == nil || pg.refs.Load() > 1) {
+			// Whole page replaced: install a fresh page holding the
+			// incoming bytes, with no read-copy COW break.
+			if pg != nil {
+				pg.refs.Add(-1)
+			}
+			t.ptes[l2] = pte{pg: newPageFrom(p[:PageSize]), perm: e.perm}
+		} else {
+			switch {
+			case pg == nil:
+				pg = newPage()
+				t.ptes[l2] = pte{pg: pg, perm: e.perm}
+			case pg.refs.Load() > 1:
+				np := newPage()
+				np.data = pg.data
+				pg.refs.Add(-1)
+				pg = np
+				t.ptes[l2] = pte{pg: pg, perm: e.perm}
+			}
+			copy(pg.data[off:off+n], p[:n])
+		}
 		p = p[n:]
 		addr += Addr(n)
 	}
