@@ -4,9 +4,9 @@
 GO ?= go
 
 # Output of `make bench-json`: override per PR / per CI run, e.g.
-# `make bench-json BENCH_OUT=BENCH_pr9.json`. CI uploads the file as a
+# `make bench-json BENCH_OUT=BENCH_pr10.json`. CI uploads the file as a
 # build artifact so the perf trajectory is downloadable per run.
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
 .PHONY: build test race bench bench-smoke bench-json vet fmt-check staticcheck detlint ci
 
@@ -38,16 +38,18 @@ bench:
 # reconciliation sweep still checksums identically across merge workers,
 # the sharded barrier tree still matches the flat collector bit for bit
 # while cutting the root's cross-node messages, every checkpoint sweep
-# row still resumes bit-identically to its uninterrupted run, and the
+# row still resumes bit-identically to its uninterrupted run, the
 # serving fabric still bounds resident pages by the cap while serving
-# 1024 open sessions (killed-worker failovers asserted bit-equal).
+# 1024 open sessions (killed-worker failovers asserted bit-equal), and
+# the build executor's warm builds still fetch >=90% of results with
+# checksums bit-equal to cold.
 bench-smoke:
-	$(GO) test -bench='Fig4|MergeTable|DschedRound|KVTable|ClusterTable|CkptTable|ServeTable' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='Fig4|MergeTable|DschedRound|KVTable|ClusterTable|CkptTable|ServeTable|MakeTable' -benchtime=1x -run='^$$' .
 
 # Machine-readable perf snapshot for the repo's trajectory artifacts
 # (BENCH_pr2.json and successors; see BENCH_OUT above).
 bench-json:
-	$(GO) run ./cmd/detbench -run dsched,merge,kv,cluster,ckpt,serve -quick -json > $(BENCH_OUT)
+	$(GO) run ./cmd/detbench -run dsched,merge,kv,cluster,ckpt,serve,make -quick -json > $(BENCH_OUT)
 
 # Mirrors the pinned CI job; requires staticcheck on PATH
 # (go install honnef.co/go/tools/cmd/staticcheck@2025.1).

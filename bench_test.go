@@ -48,6 +48,7 @@ func BenchmarkKVTable(b *testing.B)      { benchExperiment(b, "kv") }
 func BenchmarkClusterTable(b *testing.B) { benchExperiment(b, "cluster") }
 func BenchmarkCkptTable(b *testing.B)    { benchExperiment(b, "ckpt") }
 func BenchmarkServeTable(b *testing.B)   { benchExperiment(b, "serve") }
+func BenchmarkMakeTable(b *testing.B)    { benchExperiment(b, "make") }
 func BenchmarkTab3(b *testing.B)         { benchExperiment(b, "tab3") }
 
 // Per-workload micro-benchmarks: each benchmark kernel on Determinator

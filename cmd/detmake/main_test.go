@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const demoBuild = `# tiny C-like build
+file main.c int main;
+file util.c int util;
+
+task cc-main upper main.o <- main.c
+task cc-util upper util.o <- util.c
+task link concat a.out <- main.o util.o
+`
+
+func TestParseBuildFile(t *testing.T) {
+	g, sources, err := parseBuildFile(demoBuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks()) != 3 {
+		t.Fatalf("parsed %d tasks, want 3", len(g.Tasks()))
+	}
+	if string(sources["main.c"]) != "int main;\n" {
+		t.Fatalf("main.c = %q", sources["main.c"])
+	}
+	link, ok := g.Task("link")
+	if !ok || link.Action != "concat" || len(link.Inputs) != 2 {
+		t.Fatalf("link = %+v", link)
+	}
+}
+
+func TestParseBuildFileErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frob x y\n",
+		"file\n",
+		"file a.c x\nfile a.c y\n",
+		"task t1\n",
+		"task t1 gen out in-without-arrow\n",
+	} {
+		if _, _, err := parseBuildFile(bad); err == nil {
+			t.Fatalf("parseBuildFile(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTaskArgs(t *testing.T) {
+	task, err := parseTask([]string{"t", "gen:hello,world", "out.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Action != "gen" || len(task.Args) != 2 || task.Args[1] != "world" {
+		t.Fatalf("task = %+v", task)
+	}
+}
+
+// Cold run executes everything; a second run over the same -store
+// directory is pure cache hits with the identical tree digest.
+func TestColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	bf := filepath.Join(dir, "build.dmk")
+	if err := os.WriteFile(bf, []byte(demoBuild), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "cache")
+
+	runOnce := func() string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-f", bf, "-store", store}, &out, &errOut); code != 0 {
+			t.Fatalf("run failed (%d): %s", code, errOut.String())
+		}
+		return out.String()
+	}
+
+	cold := runOnce()
+	if !strings.Contains(cold, "EXEC cc-main") || !strings.Contains(cold, "3 executed, 0 cache hits") {
+		t.Fatalf("cold output:\n%s", cold)
+	}
+	warm := runOnce()
+	if !strings.Contains(warm, "HIT  link") || !strings.Contains(warm, "0 executed, 3 cache hits") {
+		t.Fatalf("warm output:\n%s", warm)
+	}
+	tree := regexp.MustCompile(`tree \S+ checksum \S+`)
+	if tree.FindString(cold) != tree.FindString(warm) {
+		t.Fatalf("warm digest differs from cold:\ncold: %s\nwarm: %s",
+			tree.FindString(cold), tree.FindString(warm))
+	}
+}
+
+func TestBuildErrorIsReported(t *testing.T) {
+	dir := t.TempDir()
+	bf := filepath.Join(dir, "cycle.dmk")
+	cycle := "task a concat x <- y\ntask b concat y <- x\n"
+	if err := os.WriteFile(bf, []byte(cycle), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-f", bf}, &out, &errOut); code == 0 {
+		t.Fatal("cyclic build succeeded")
+	}
+	if !strings.Contains(errOut.String(), "cycle") {
+		t.Fatalf("stderr = %q, want cycle report", errOut.String())
+	}
+}

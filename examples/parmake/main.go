@@ -1,29 +1,30 @@
-// Parmake: the paper's parallel-make scenario (§4.2 and Figure 4) on the
-// emulated Unix runtime.
+// Parmake: the paper's parallel-make scenario (§4.2) on the detmake
+// build executor.
 //
-// A "makefile" of compile rules runs as forked compiler processes, each
-// writing its .o file into its own file system replica; the object files
-// merge into the parent at wait time, then a link step combines them.
-// The demo then shows the two wait()-semantics effects the paper
-// discusses:
+// The same three compile rules that used to be hand-rolled over forked
+// processes are now a declared DAG: each cc rule runs hermetically in
+// its own space over a private file-system image seeing only its
+// declared source, the object files merge back at the wave boundary,
+// and the link step concatenates them. On top of what the hand-rolled
+// version showed, the executor adds the paper's punchline: because
+// every task's output bits are a pure function of its inputs, results
+// are cacheable by construction — the second build is pure cache hits
+// and bit-identical, asserted here.
 //
-//   - two rules that write the same output file produce a reliably
-//     detected conflict, not a silently clobbered binary;
-//   - with a 2-worker quota, Determinator's wait() (earliest-forked,
-//     never "first finisher") produces the non-optimal schedule of
-//     Figure 4(d), measurably slower in virtual time than 'make -j'.
+// The duplicate-output build bug from the original demo is still a
+// reliably detected, deterministic conflict — now caught as a typed
+// error when the graph is declared, before anything runs.
 //
 // Run: go run ./examples/parmake
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
-	"strings"
 
-	repro "repro"
-	"repro/internal/kernel"
-	"repro/internal/uproc"
+	"repro/internal/castore"
+	"repro/internal/detmake"
 )
 
 type rule struct {
@@ -38,150 +39,121 @@ var rules = []rule{
 }
 
 func main() {
-	reg := repro.NewRegistry()
-	reg.Register("cc", ccProgram)
-	reg.Register("make-j", makeUnlimited)
-	reg.Register("make-j2", makeTwoWorkers)
-	reg.Register("make-conflict", makeConflict)
+	actions := detmake.NewActions()
+	actions.Register("cc", ccAction)
+	actions.Register("link", linkAction)
 
-	run := func(entry string) (int, string, int64) {
-		var out strings.Builder
-		res := repro.Boot(repro.BootConfig{
-			Kernel:   kernel.Config{CPUsPerNode: 2},
-			Registry: reg,
-			Stdout:   &out,
-		}, entry)
-		return res.ExitStatus, out.String(), res.Run.VT
+	sources := map[string][]byte{}
+	var tasks []*detmake.Task
+	var objs []string
+	for _, r := range rules {
+		sources[r.src] = []byte("int code_" + r.src + ";\n")
+		tasks = append(tasks, &detmake.Task{
+			ID: "cc-" + r.obj, Action: "cc", Args: []string{fmt.Sprint(r.len)},
+			Inputs: []string{r.src}, Outputs: []string{r.obj},
+		})
+		objs = append(objs, r.obj)
+	}
+	tasks = append(tasks, &detmake.Task{
+		ID: "link", Action: "link", Inputs: objs, Outputs: []string{"a.out"},
+	})
+	g, err := detmake.NewGraph(tasks)
+	if err != nil {
+		fatal(err)
 	}
 
-	status, out, vtJ := run("make-j")
-	fmt.Print(out)
-	if status != 0 {
-		fmt.Fprintln(os.Stderr, "make -j failed")
-		os.Exit(1)
+	store := castore.NewMemStore()
+	idx := detmake.NewMemIndex()
+	build := func() detmake.Result {
+		res, err := detmake.Build(detmake.Config{
+			Graph: g, Actions: actions, Sources: sources, Store: store, Index: idx,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, tr := range res.Tasks {
+			verb := "CC"
+			if tr.ID == "link" {
+				verb = "LD"
+			}
+			if tr.CacheHit {
+				verb = "HIT"
+			}
+			fmt.Printf("%-3s %s\n", verb, tr.ID)
+		}
+		return res
 	}
-	fmt.Printf("make -j   (unlimited): makespan %4.1fM instructions\n\n", float64(vtJ)/1e6)
 
-	_, out2, vtJ2 := run("make-j2")
-	fmt.Print(out2)
-	fmt.Printf("make -j2 (det. wait) : makespan %4.1fM instructions (%.2fx of -j)\n\n",
-		float64(vtJ2)/1e6, float64(vtJ2)/float64(vtJ))
-	fmt.Println("wait() returns the earliest-forked child, so -j2 cannot react to the short")
-	fmt.Println("compile finishing first — Figure 4(d). The paper's advice: use plain 'make -j'.")
+	fmt.Println("cold build (every rule compiles in its own private space):")
+	cold := build()
+	fmt.Printf("makespan %4.1fM instructions\n\n", float64(cold.VT)/1e6)
 
-	_, out3, _ := run("make-conflict")
-	fmt.Println()
-	fmt.Print(out3)
+	// The hand-rolled version asserted this exact binary; it must come
+	// out of the DAG executor byte-identical.
+	want := ""
+	for _, r := range rules {
+		want += fmt.Sprintf("ELF{%s: %d bytes compiled}\n", r.src, len(sources[r.src]))
+	}
+	if string(cold.Outputs["a.out"]) != want {
+		fatal(fmt.Errorf("a.out = %q, want %q", cold.Outputs["a.out"], want))
+	}
+	fmt.Print("a.out:\n" + want + "\n")
+
+	fmt.Println("warm build (same inputs, so every result fetches from the cache):")
+	warm := build()
+	if warm.Stats.CacheHits != len(tasks) || warm.TreeDigest != cold.TreeDigest ||
+		warm.Checksum != cold.Checksum {
+		fatal(fmt.Errorf("warm build not a bit-identical full cache hit: %+v", warm.Stats))
+	}
+	fmt.Printf("%d/%d cache hits, tree and image checksum bit-identical to cold\n\n",
+		warm.Stats.CacheHits, len(tasks))
+
+	// The build bug: two rules that write the same output file. The
+	// executor rejects the graph with deterministic attribution instead
+	// of letting one rule silently clobber the other.
+	_, err = detmake.NewGraph([]*detmake.Task{
+		{ID: "cc-main", Action: "cc", Args: []string{"1"}, Inputs: []string{"main.c"}, Outputs: []string{"main.o"}},
+		{ID: "cc-util", Action: "cc", Args: []string{"1"}, Inputs: []string{"util.c"}, Outputs: []string{"main.o"}},
+	})
+	var dup *detmake.DuplicateOutputError
+	if !errors.As(err, &dup) {
+		fatal(fmt.Errorf("duplicate-output bug was not detected: %v", err))
+	}
+	fmt.Printf("build bug detected: tasks %s and %s both declare %s — conflict reported, nothing runs\n",
+		dup.Tasks[0], dup.Tasks[1], dup.Path)
 }
 
-// ccProgram simulates a compiler: read the source, "compile" for the
-// requested duration, write the object file.
-func ccProgram(p *uproc.Proc) int {
-	args := p.Args() // cc SRC OBJ LEN
-	if len(args) != 4 {
-		p.ConsoleWrite([]byte("cc: bad usage\n"))
-		return 2
-	}
-	src, err := p.FS().ReadFile(args[1])
+// ccAction simulates a compiler: read the one declared source,
+// "compile" for the requested duration, write the object file.
+func ccAction(c *detmake.TaskCtx) error {
+	src := c.Inputs()[0]
+	b, err := c.ReadFile(src)
 	if err != nil {
-		p.ConsoleWrite([]byte("cc: " + err.Error() + "\n"))
-		return 1
+		return err
 	}
 	var units int64
-	fmt.Sscan(args[3], &units)
-	p.Env().Tick(units * 1_000_000)
-	obj := fmt.Sprintf("ELF{%s: %d bytes compiled}", args[1], len(src))
-	if err := p.FS().WriteFile(args[2], []byte(obj)); err != nil {
-		p.ConsoleWrite([]byte("cc: " + err.Error() + "\n"))
-		return 1
-	}
-	p.ConsoleWrite([]byte("CC " + args[2] + "\n"))
-	return 0
+	fmt.Sscan(c.Args()[0], &units)
+	c.Tick(units * 1_000_000)
+	return c.WriteFile(c.Outputs()[0], []byte(fmt.Sprintf("ELF{%s: %d bytes compiled}", src, len(b))))
 }
 
-// prepareSources writes the "source tree" into the build's file system.
-func prepareSources(p *uproc.Proc) {
-	for _, r := range rules {
-		if err := p.FS().WriteFile(r.src, []byte("int code_"+r.src+";\n")); err != nil {
-			panic(err)
-		}
-	}
-}
-
-// link concatenates the objects, verifying they all arrived.
-func link(p *uproc.Proc) int {
-	var bin strings.Builder
-	for _, r := range rules {
-		obj, err := p.FS().ReadFile(r.obj)
+// linkAction concatenates the objects with newlines, as the original
+// example's link step did.
+func linkAction(c *detmake.TaskCtx) error {
+	var bin []byte
+	for _, obj := range c.Inputs() {
+		b, err := c.ReadFile(obj)
 		if err != nil {
-			p.ConsoleWrite([]byte("ld: missing " + r.obj + "\n"))
-			return 1
+			return err
 		}
-		bin.Write(obj)
-		bin.WriteByte('\n')
+		bin = append(bin, b...)
+		bin = append(bin, '\n')
 	}
-	if err := p.FS().WriteFile("a.out", []byte(bin.String())); err != nil {
-		return 1
-	}
-	p.ConsoleWrite([]byte("LD a.out\n"))
-	return 0
+	c.Tick(int64(len(bin)))
+	return c.WriteFile(c.Outputs()[0], bin)
 }
 
-func fork(p *uproc.Proc, r rule) int {
-	pid, err := p.ForkExec("cc", r.src, r.obj, fmt.Sprint(r.len))
-	if err != nil {
-		panic(err)
-	}
-	return pid
-}
-
-// makeUnlimited is 'make -j': all rules at once, join all.
-func makeUnlimited(p *uproc.Proc) int {
-	prepareSources(p)
-	var pids []int
-	for _, r := range rules {
-		pids = append(pids, fork(p, r))
-	}
-	for _, pid := range pids {
-		if _, conflicts, err := p.Waitpid(pid); err != nil || len(conflicts) > 0 {
-			return 1
-		}
-	}
-	return link(p)
-}
-
-// makeTwoWorkers is 'make -j2': at most two outstanding compiles, using
-// wait() to reclaim a slot — which on Determinator reports the
-// earliest-forked child, not the first finisher.
-func makeTwoWorkers(p *uproc.Proc) int {
-	prepareSources(p)
-	fork(p, rules[0])
-	fork(p, rules[1])
-	if _, _, _, err := p.Wait(); err != nil { // earliest-forked: the long compile
-		return 1
-	}
-	fork(p, rules[2])
-	for {
-		if _, _, _, err := p.Wait(); err != nil {
-			break
-		}
-	}
-	return link(p)
-}
-
-// makeConflict runs two rules that both write main.o: a build-system bug
-// the runtime converts into a deterministic, visible conflict.
-func makeConflict(p *uproc.Proc) int {
-	prepareSources(p)
-	a, _ := p.ForkExec("cc", "main.c", "main.o", "1")
-	b, _ := p.ForkExec("cc", "util.c", "main.o", "1")
-	p.Waitpid(a)
-	_, conflicts, _ := p.Waitpid(b)
-	if len(conflicts) == 1 {
-		p.ConsoleWrite([]byte("build bug detected: both rules wrote " + conflicts[0].Name +
-			" — conflict flagged, later opens fail until rebuilt\n"))
-		return 0
-	}
-	p.ConsoleWrite([]byte("BUG: duplicate-output conflict was not detected\n"))
-	return 1
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parmake:", err)
+	os.Exit(1)
 }

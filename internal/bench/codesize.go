@@ -110,7 +110,7 @@ func countFile(path string) (lines, semis int) {
 
 // Experiments lists every runnable experiment id.
 func Experiments() []string {
-	return []string{"fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "quantum", "rocache", "merge", "dsched", "kv", "cluster", "ckpt", "serve", "tab3"}
+	return []string{"fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "quantum", "rocache", "merge", "dsched", "kv", "cluster", "ckpt", "serve", "make", "tab3"}
 }
 
 // Run executes one experiment by id. root is the repository root (used
@@ -147,6 +147,8 @@ func Run(id, root string, o Options) (Table, error) {
 		return Ckpt(o), nil
 	case "serve":
 		return Serve(o), nil
+	case "make":
+		return MakeTable(o), nil
 	case "tab3":
 		return Tab3(root), nil
 	}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/castore"
+	"repro/internal/detmake"
+)
+
+// MakeTable sweeps the detmake build executor over DAG shapes — wide
+// fan-out, deep chain, a diamond, and PARSEC-style dedup/ferret
+// pipelines expressed as DAG special cases — building each shape cold
+// and then warm over the same content-addressed store. Warm rows must
+// re-fetch at least 90% of task results (in practice all of them) and
+// every row asserts the warm tree digest and image checksum bit-equal
+// to the cold build's: the determinism-makes-caching-sound claim,
+// checked in-harness rather than reported. The final row per shape set
+// is incremental: one leaf source changes and exactly that change's
+// downstream cone re-executes.
+func MakeTable(o Options) Table {
+	shapes := makeShapes(o)
+	t := Table{
+		ID:    "make",
+		Title: "detmake build executor: DAG shapes, cold vs warm over the build cache",
+		Header: []string{"shape", "tasks", "waves", "cold-exec", "warm-hits", "hit%",
+			"fetched-kb", "stored-kb", "cold-ms", "warm-ms", "bits"},
+	}
+	for _, sh := range shapes {
+		g, err := detmake.NewGraph(sh.tasks)
+		if err != nil {
+			panic(fmt.Sprintf("bench: make %s: %v", sh.name, err))
+		}
+		store := castore.NewMemStore()
+		idx := detmake.NewMemIndex()
+
+		start := time.Now()
+		cold, err := detmake.Build(detmake.Config{Graph: g, Sources: sh.sources, Store: store, Index: idx})
+		coldWall := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("bench: make %s cold: %v", sh.name, err))
+		}
+		start = time.Now()
+		warm, err := detmake.Build(detmake.Config{Graph: g, Sources: sh.sources, Store: store, Index: idx})
+		warmWall := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("bench: make %s warm: %v", sh.name, err))
+		}
+
+		n := warm.Stats.Tasks
+		if warm.Stats.CacheHits*10 < n*9 {
+			panic(fmt.Sprintf("bench: make %s warm hit rate %d/%d < 90%%",
+				sh.name, warm.Stats.CacheHits, n))
+		}
+		if warm.TreeDigest != cold.TreeDigest || warm.Checksum != cold.Checksum {
+			panic(fmt.Sprintf("bench: make %s: warm bits differ from cold", sh.name))
+		}
+		t.AddRow(sh.name, iv(int64(n)), iv(int64(cold.Stats.Waves)),
+			iv(int64(cold.Stats.Executed)), iv(int64(warm.Stats.CacheHits)),
+			rat(float64(warm.Stats.CacheHits)/float64(n)),
+			kb(warm.Stats.Fetched), kb(cold.Stats.Stored),
+			ms(float64(coldWall.Microseconds())/1000),
+			ms(float64(warmWall.Microseconds())/1000),
+			"bit-eq")
+
+		// Incremental row: change one leaf source, rebuild over the warm
+		// store — exactly the changed file's downstream cone re-executes.
+		if sh.leaf != "" {
+			t.AddRow(makeIncrementalRow(sh, g, store, idx)...)
+		}
+	}
+	t.Note("each shape builds cold into a fresh content-addressed store, then warm over it;")
+	t.Note("warm rows assert >=90%% of results re-fetched and tree digest + image checksum")
+	t.Note("bit-equal to cold (determinism makes the cache sound). +1-leaf rows change one")
+	t.Note("source file: exactly its downstream cone re-executes, the rest stay cache hits.")
+	return t
+}
+
+// makeIncrementalRow rebuilds a shape after changing one leaf source
+// and asserts the re-executed set is exactly the leaf's cone.
+func makeIncrementalRow(sh makeShape, g *detmake.Graph, store castore.BlobStore, idx detmake.ActionIndex) []string {
+	changed := make(map[string][]byte, len(sh.sources))
+	for p, b := range sh.sources {
+		changed[p] = b
+	}
+	changed[sh.leaf] = append([]byte("edited\n"), sh.sources[sh.leaf]...)
+	cone := g.Cone(sh.leaf)
+
+	start := time.Now()
+	inc, err := detmake.Build(detmake.Config{Graph: g, Sources: changed, Store: store, Index: idx})
+	wall := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("bench: make %s incremental: %v", sh.name, err))
+	}
+	if inc.Stats.Executed != len(cone) {
+		panic(fmt.Sprintf("bench: make %s incremental executed %d tasks, want cone %d",
+			sh.name, inc.Stats.Executed, len(cone)))
+	}
+	// The incremental result must be bit-identical to a cold build of the
+	// changed tree.
+	cold, err := detmake.Build(detmake.Config{Graph: g, Sources: changed})
+	if err != nil {
+		panic(fmt.Sprintf("bench: make %s incremental cold: %v", sh.name, err))
+	}
+	if inc.TreeDigest != cold.TreeDigest || inc.Checksum != cold.Checksum {
+		panic(fmt.Sprintf("bench: make %s: incremental bits differ from cold", sh.name))
+	}
+	n := inc.Stats.Tasks
+	return []string{sh.name + "+1leaf", iv(int64(n)), iv(int64(inc.Stats.Waves)),
+		iv(int64(inc.Stats.Executed)), iv(int64(inc.Stats.CacheHits)),
+		rat(float64(inc.Stats.CacheHits) / float64(n)),
+		kb(inc.Stats.Fetched), kb(inc.Stats.Stored),
+		ms(float64(wall.Microseconds()) / 1000), "-", "bit-eq"}
+}
+
+// makeShape is one DAG under test: its tasks, source tree, and the leaf
+// source the incremental row edits (empty: no incremental row).
+type makeShape struct {
+	name    string
+	tasks   []*detmake.Task
+	sources map[string][]byte
+	leaf    string
+}
+
+// makeShapes builds the shape sweep. File counts stay well under the
+// per-image inode ceiling (fs.NumInodes); Quick halves the fan-outs.
+func makeShapes(o Options) []makeShape {
+	wide, depth, items := 24, 16, 6
+	if o.Quick {
+		wide, depth, items = 12, 8, 4
+	}
+
+	var shapes []makeShape
+
+	// Wide fan-out, the classic parmake shape: N sources, N independent
+	// compiles, one link. Editing one source re-executes exactly that
+	// compile and the link.
+	{
+		src := make(map[string][]byte, wide)
+		var tasks []*detmake.Task
+		var outs []string
+		for i := 0; i < wide; i++ {
+			in := fmt.Sprintf("src/f%02d.c", i)
+			out := fmt.Sprintf("out/f%02d.o", i)
+			src[in] = []byte(fmt.Sprintf("int f%02d;\n", i))
+			tasks = append(tasks, &detmake.Task{
+				ID: fmt.Sprintf("cc%02d", i), Action: "derive", Args: []string{fmt.Sprint(i)},
+				Inputs: []string{in}, Outputs: []string{out},
+			})
+			outs = append(outs, out)
+		}
+		tasks = append(tasks, &detmake.Task{
+			ID: "link", Action: "concat", Inputs: outs, Outputs: []string{"out/a.out"},
+		})
+		shapes = append(shapes, makeShape{"wide", tasks, src, "src/f00.c"})
+	}
+
+	// Deep chain: each task derives from the previous link.
+	{
+		src := map[string][]byte{"src/seed.txt": []byte("deep chain seed\n")}
+		var tasks []*detmake.Task
+		prev := "src/seed.txt"
+		for i := 0; i < depth; i++ {
+			out := fmt.Sprintf("out/c%02d.dat", i)
+			tasks = append(tasks, &detmake.Task{
+				ID: fmt.Sprintf("c%02d", i), Action: "derive", Args: []string{fmt.Sprint(i)},
+				Inputs: []string{prev}, Outputs: []string{out},
+			})
+			prev = out
+		}
+		// No incremental row: the seed's cone is the whole chain.
+		shapes = append(shapes, makeShape{"chain", tasks, src, ""})
+	}
+
+	// Diamond: one source splits into two branches that rejoin.
+	{
+		src := map[string][]byte{"src/top.txt": []byte("diamond top\n")}
+		tasks := []*detmake.Task{
+			{ID: "top", Action: "upper", Inputs: []string{"src/top.txt"}, Outputs: []string{"out/top.dat"}},
+			{ID: "left", Action: "derive", Args: []string{"l"}, Inputs: []string{"out/top.dat"}, Outputs: []string{"out/l.dat"}},
+			{ID: "right", Action: "derive", Args: []string{"r"}, Inputs: []string{"out/top.dat"}, Outputs: []string{"out/r.dat"}},
+			{ID: "bottom", Action: "concat", Inputs: []string{"out/l.dat", "out/r.dat"}, Outputs: []string{"out/bot.dat"}},
+		}
+		shapes = append(shapes, makeShape{"diamond", tasks, src, ""})
+	}
+
+	// PARSEC dedup as a DAG: chunk the stream, compress (derive) each
+	// chunk in parallel, reassemble.
+	{
+		parts := wide / 3
+		stream := make([]byte, 0, 4096)
+		for len(stream) < 4096 {
+			stream = append(stream, fmt.Sprintf("block %d of the input stream\n", len(stream))...)
+		}
+		src := map[string][]byte{"src/stream.bin": stream}
+		var chunkOuts, compOuts []string
+		for i := 0; i < parts; i++ {
+			chunkOuts = append(chunkOuts, fmt.Sprintf("chunk/p%02d.raw", i))
+			compOuts = append(compOuts, fmt.Sprintf("comp/p%02d.z", i))
+		}
+		tasks := []*detmake.Task{{
+			ID: "chunk", Action: "chunk", Inputs: []string{"src/stream.bin"}, Outputs: chunkOuts,
+		}}
+		for i := 0; i < parts; i++ {
+			tasks = append(tasks, &detmake.Task{
+				ID: fmt.Sprintf("comp%02d", i), Action: "derive", Args: []string{"z"},
+				Inputs: []string{chunkOuts[i]}, Outputs: []string{compOuts[i]},
+			})
+		}
+		tasks = append(tasks, &detmake.Task{
+			ID: "pack", Action: "concat", Inputs: compOuts, Outputs: []string{"out/stream.ddp"},
+		})
+		shapes = append(shapes, makeShape{"dedup", tasks, src, ""})
+	}
+
+	// PARSEC ferret as a DAG: per-query multi-stage pipelines
+	// (segment -> extract -> index -> rank) fanning into one result.
+	{
+		src := make(map[string][]byte, items)
+		var tasks []*detmake.Task
+		var ranks []string
+		stages := []string{"seg", "ext", "idx", "rank"}
+		for q := 0; q < items; q++ {
+			in := fmt.Sprintf("src/q%02d.img", q)
+			src[in] = []byte(fmt.Sprintf("query image %d\n", q))
+			prev := in
+			for s, stage := range stages {
+				out := fmt.Sprintf("out/q%02d.%s", q, stage)
+				tasks = append(tasks, &detmake.Task{
+					ID: fmt.Sprintf("q%02d-%s", q, stage), Action: "derive",
+					Args:   []string{fmt.Sprint(s)},
+					Inputs: []string{prev}, Outputs: []string{out},
+				})
+				prev = out
+			}
+			ranks = append(ranks, prev)
+		}
+		tasks = append(tasks, &detmake.Task{
+			ID: "merge", Action: "concat", Inputs: ranks, Outputs: []string{"out/results.txt"},
+		})
+		shapes = append(shapes, makeShape{"ferret", tasks, src, "src/q00.img"})
+	}
+
+	return shapes
+}
+
+func kb(b int64) string { return fmt.Sprintf("%d", (b+1023)>>10) }

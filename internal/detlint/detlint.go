@@ -37,6 +37,12 @@ var DeterministicPackages = map[string]bool{
 // is where time.Now is legal (see docs/determinism-rules.md).
 var WallClockPackages = map[string]bool{
 	modulePath + "/internal/serve": true,
+	// The build executor keys cached results by content hashes of pure
+	// inputs: a wall-clock read anywhere in it could leak into result
+	// bytes and break the cold/warm bit-identity the cache is sound
+	// under. Cold-vs-warm wall time is measured at the edge, by
+	// cmd/detmake and the bench harness.
+	modulePath + "/internal/detmake": true,
 }
 
 // All returns the full analyzer suite in stable order.

@@ -26,9 +26,11 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{MapOrderAnalyzer, "maporder/allow", "fixture/maporder"},
 
 		{WallTimeAnalyzer, "walltime/pos", detPath},
-		// The serving fabric is wall-clock-banned too, even though the
-		// other scope-gated analyzers leave it alone.
+		// The serving fabric and the build executor are wall-clock-banned
+		// too, even though the other scope-gated analyzers leave them
+		// alone.
 		{WallTimeAnalyzer, "walltime/pos", servePath},
+		{WallTimeAnalyzer, "walltime/pos", modulePath + "/internal/detmake"},
 		{WallTimeAnalyzer, "walltime/scope", benchPath},
 		{WallTimeAnalyzer, "walltime/allow", detPath},
 

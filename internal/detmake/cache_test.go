@@ -1,0 +1,206 @@
+package detmake
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/castore"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := manifest{
+		Action:  castore.KeyOf([]byte("action")),
+		Outputs: []string{"a.out", "obj/deep/x.o"},
+		Cost:    12345,
+	}
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Action != m.Action || got.Cost != m.Cost || len(got.Outputs) != 2 ||
+		got.Outputs[0] != m.Outputs[0] || got.Outputs[1] != m.Outputs[1] {
+		t.Fatalf("round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestManifestDecodeRejectsDamage(t *testing.T) {
+	enc := encodeManifest(manifest{Action: castore.KeyOf([]byte("a")), Outputs: []string{"x"}})
+	for _, bad := range [][]byte{
+		nil,
+		enc[:len(enc)-1],
+		append(append([]byte{}, enc...), 0),
+		[]byte("XXXX not a manifest at all, far too short? no, long enough to pass the length gate......."),
+	} {
+		if _, err := decodeManifest(bad); err == nil {
+			t.Fatalf("decodeManifest(%d bytes) accepted damage", len(bad))
+		} else if !errors.As(err, new(*castore.NodeFormatError)) {
+			t.Fatalf("damage error = %T, want *NodeFormatError", err)
+		}
+	}
+}
+
+// The action key must move with every semantic ingredient and nothing
+// else.
+func TestActionKeySensitivity(t *testing.T) {
+	hash := map[string]castore.Key{
+		"a": castore.KeyOf([]byte("1")),
+		"b": castore.KeyOf([]byte("2")),
+	}
+	base := &Task{ID: "t", Action: "derive", Args: []string{"x"}, Inputs: []string{"a", "b"}, Outputs: []string{"o"}}
+	k0 := actionKey(base, hash, 1<<20)
+
+	if k := actionKey(base, hash, 1<<20); k != k0 {
+		t.Fatal("key not stable")
+	}
+	// Input declaration order must not matter (sorted into the key).
+	swapped := *base
+	swapped.Inputs = []string{"b", "a"}
+	if k := actionKey(&swapped, hash, 1<<20); k != k0 {
+		t.Fatal("key depends on input declaration order")
+	}
+	// The task ID must not matter: same action + inputs = same result.
+	renamed := *base
+	renamed.ID = "renamed"
+	if k := actionKey(&renamed, hash, 1<<20); k != k0 {
+		t.Fatal("key depends on task ID")
+	}
+	for name, variant := range map[string]func() castore.Key{
+		"action": func() castore.Key {
+			v := *base
+			v.Action = "other"
+			return actionKey(&v, hash, 1<<20)
+		},
+		"args": func() castore.Key {
+			v := *base
+			v.Args = []string{"y"}
+			return actionKey(&v, hash, 1<<20)
+		},
+		"input content": func() castore.Key {
+			h2 := map[string]castore.Key{"a": castore.KeyOf([]byte("changed")), "b": hash["b"]}
+			return actionKey(base, h2, 1<<20)
+		},
+		"outputs": func() castore.Key {
+			v := *base
+			v.Outputs = []string{"p"}
+			return actionKey(&v, hash, 1<<20)
+		},
+		"image size": func() castore.Key {
+			return actionKey(base, hash, 2<<20)
+		},
+	} {
+		if variant() == k0 {
+			t.Fatalf("key insensitive to %s", name)
+		}
+	}
+}
+
+func TestDirIndex(t *testing.T) {
+	dir := t.TempDir()
+	idx, err := OpenDirIndex(filepath.Join(dir, "actions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	action := castore.KeyOf([]byte("some action"))
+	man := castore.KeyOf([]byte("its manifest"))
+	if _, ok, err := idx.Lookup(action); ok || err != nil {
+		t.Fatalf("empty lookup = %v, %v", ok, err)
+	}
+	if err := idx.Record(action, man); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := idx.Lookup(action)
+	if err != nil || !ok || got != man {
+		t.Fatalf("lookup = %v %v %v", got, ok, err)
+	}
+	// Reopen: entries persist.
+	idx2, err := OpenDirIndex(filepath.Join(dir, "actions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := idx2.Lookup(action); !ok || got != man {
+		t.Fatal("entry lost on reopen")
+	}
+	roots, err := idx2.Roots()
+	if err != nil || len(roots) != 1 || roots[0] != man {
+		t.Fatalf("roots = %v, %v", roots, err)
+	}
+	// A torn entry reads as a miss, not an error.
+	if err := os.WriteFile(filepath.Join(dir, "actions", action.String()), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := idx2.Lookup(action); ok || err != nil {
+		t.Fatalf("torn lookup = %v, %v", ok, err)
+	}
+}
+
+// End-to-end over the on-disk store: a second build in a fresh process
+// (modeled by fresh handles over the same directory) is fully warm,
+// and GC over index roots keeps every cached result alive.
+func TestDirStoreBuildCache(t *testing.T) {
+	dir := t.TempDir()
+	g, srcs := compileGraphStandalone(t)
+
+	open := func() (castore.Store, ActionIndex) {
+		store, err := castore.OpenDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := OpenDirIndex(filepath.Join(dir, "actions"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store, idx
+	}
+	store, idx := open()
+	cold, err := Build(Config{Graph: g, Sources: srcs, Store: store, Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2, idx2 := open()
+	warm, err := Build(Config{Graph: g, Sources: srcs, Store: store2, Index: idx2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != 3 || warm.Stats.Executed != 0 {
+		t.Fatalf("warm-across-process stats = %+v", warm.Stats)
+	}
+	if warm.TreeDigest != cold.TreeDigest || warm.Checksum != cold.Checksum {
+		t.Fatal("on-disk warm build differs in bits")
+	}
+
+	// GC with the index's manifests as roots must not collect anything
+	// a warm build needs.
+	roots, err := idx2.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := castore.Collect(store2, roots); err != nil {
+		t.Fatal(err)
+	}
+	store3, idx3 := open()
+	again, err := Build(Config{Graph: g, Sources: srcs, Store: store3, Index: idx3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.CacheHits != 3 {
+		t.Fatalf("post-GC stats = %+v, want all hits", again.Stats)
+	}
+}
+
+func compileGraphStandalone(t *testing.T) (*Graph, map[string][]byte) {
+	t.Helper()
+	g, err := NewGraph([]*Task{
+		mkTask("cc-main", "upper", []string{"main.o"}, []string{"main.c"}),
+		mkTask("cc-util", "upper", []string{"util.o"}, []string{"util.c"}),
+		mkTask("link", "concat", []string{"a.out"}, []string{"main.o", "util.o"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, map[string][]byte{
+		"main.c": []byte("int main;\n"),
+		"util.c": []byte("int util;\n"),
+	}
+}

@@ -1,0 +1,324 @@
+package detmake
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/castore"
+	"repro/internal/fs"
+)
+
+// compileGraph is the shared three-stage pipeline: two "compiles" from
+// sources, a "link" concatenating the objects.
+func compileGraph(t *testing.T) (*Graph, map[string][]byte) {
+	t.Helper()
+	g, err := NewGraph([]*Task{
+		mkTask("cc-main", "upper", []string{"main.o"}, []string{"main.c"}),
+		mkTask("cc-util", "upper", []string{"util.o"}, []string{"util.c"}),
+		mkTask("link", "concat", []string{"a.out"}, []string{"main.o", "util.o"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, map[string][]byte{
+		"main.c": []byte("int main;\n"),
+		"util.c": []byte("int util;\n"),
+	}
+}
+
+func TestBuildBasic(t *testing.T) {
+	g, srcs := compileGraph(t)
+	res, err := Build(Config{Graph: g, Sources: srcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Outputs["a.out"]); got != "INT MAIN;\nINT UTIL;\n" {
+		t.Fatalf("a.out = %q", got)
+	}
+	if res.Stats.Executed != 3 || res.Stats.CacheHits != 0 || res.Stats.Waves != 2 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+// Cold then warm over one store: the warm build fetches every result
+// and the final tree — logical digest and raw image checksum — is
+// bit-identical to the cold one.
+func TestWarmBuildBitIdentical(t *testing.T) {
+	g, srcs := compileGraph(t)
+	store := castore.NewMemStore()
+	idx := NewMemIndex()
+	cold, err := Build(Config{Graph: g, Sources: srcs, Store: store, Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Build(Config{Graph: g, Sources: srcs, Store: store, Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != 3 || warm.Stats.Executed != 0 {
+		t.Fatalf("warm stats = %+v, want 3 hits 0 executed", warm.Stats)
+	}
+	if warm.TreeDigest != cold.TreeDigest {
+		t.Fatalf("tree digests differ: cold %s warm %s", cold.TreeDigest, warm.TreeDigest)
+	}
+	if warm.Checksum != cold.Checksum {
+		t.Fatalf("image checksums differ: cold %#x warm %#x", cold.Checksum, warm.Checksum)
+	}
+	if warm.Stats.Fetched == 0 {
+		t.Fatal("warm build fetched nothing")
+	}
+}
+
+// Results are bit-identical at every Jobs setting; only the modeled
+// makespan (VT) may differ.
+func TestJobsInvariance(t *testing.T) {
+	g, srcs := compileGraph(t)
+	base, err := Build(Config{Graph: g, Sources: srcs, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 8} {
+		res, err := Build(Config{Graph: g, Sources: srcs, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TreeDigest != base.TreeDigest || res.Checksum != base.Checksum {
+			t.Fatalf("jobs=%d: result differs from jobs=1", jobs)
+		}
+	}
+}
+
+// An incremental change to one source re-executes exactly that
+// source's cone and matches a from-scratch build of the same tree.
+func TestIncrementalCone(t *testing.T) {
+	g, srcs := compileGraph(t)
+	store := castore.NewMemStore()
+	idx := NewMemIndex()
+	if _, err := Build(Config{Graph: g, Sources: srcs, Store: store, Index: idx}); err != nil {
+		t.Fatal(err)
+	}
+	changed := map[string][]byte{"main.c": []byte("int main2;\n"), "util.c": srcs["util.c"]}
+	inc, err := Build(Config{Graph: g, Sources: changed, Store: store, Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cone := g.Cone("main.c")
+	if inc.Stats.Executed != len(cone) {
+		t.Fatalf("incremental executed %d tasks, want cone %v", inc.Stats.Executed, cone)
+	}
+	fresh, err := Build(Config{Graph: g, Sources: changed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.TreeDigest != fresh.TreeDigest || inc.Checksum != fresh.Checksum {
+		t.Fatal("incremental result differs from from-scratch build")
+	}
+}
+
+// An action reading a path that exists in the build tree but is not
+// declared fails typed — even though the action swallows the error.
+func TestUndeclaredInputRead(t *testing.T) {
+	actions := DefaultActions()
+	actions.Register("sneaky", func(c *TaskCtx) error {
+		b, err := c.ReadFile("secret.txt") // present in tree, undeclared
+		if err != nil {
+			b = []byte("fallback")
+		}
+		return c.WriteFile(c.Outputs()[0], b)
+	})
+	g, err := NewGraph([]*Task{mkTask("spy", "sneaky", []string{"out"}, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(Config{
+		Graph:   g,
+		Actions: actions,
+		Sources: map[string][]byte{"secret.txt": []byte("hidden")},
+	})
+	var undeclared *UndeclaredInputError
+	if !errors.As(err, &undeclared) {
+		t.Fatalf("Build = %v, want *UndeclaredInputError", err)
+	}
+	if undeclared.Task != "spy" || undeclared.Path != "secret.txt" {
+		t.Fatalf("violation = %+v", undeclared)
+	}
+}
+
+// Reading a genuinely absent path is a plain ErrNotFound, not a
+// hermeticity violation.
+func TestAbsentReadIsNotViolation(t *testing.T) {
+	actions := DefaultActions()
+	actions.Register("probe", func(c *TaskCtx) error {
+		if _, err := c.ReadFile("no-such-file"); !errors.Is(err, fs.ErrNotFound) {
+			return fmt.Errorf("probe saw %v, want ErrNotFound", err)
+		}
+		return c.WriteFile(c.Outputs()[0], []byte("ok"))
+	})
+	g, err := NewGraph([]*Task{mkTask("p", "probe", []string{"out"}, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(Config{Graph: g, Actions: actions}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A task that fills its hermetic image fails with a typed error that
+// unwraps to fs.ErrNoSpace, and the failing wave leaves nothing behind:
+// the committed tree is exactly the pre-wave state.
+func TestNoSpaceLeavesNoHalfVisibleOutputs(t *testing.T) {
+	actions := DefaultActions()
+	actions.Register("bloat", func(c *TaskCtx) error {
+		if err := c.WriteFile("partial", []byte("written before running out")); err != nil {
+			return err
+		}
+		// Fill the image in chunks until allocation fails for real.
+		for i := 0; ; i++ {
+			if err := c.WriteFile(fmt.Sprintf("fill/%03d", i), make([]byte, 64<<10)); err != nil {
+				return err
+			}
+		}
+	})
+	g, err := NewGraph([]*Task{
+		mkTask("gen-ok", "gen", []string{"stable"}, nil),
+		mkTask("huge", "bloat", []string{"big", "partial"}, []string{"stable"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcOnly, err := Build(Config{
+		Graph:   mustGraph(t, []*Task{mkTask("gen-ok", "gen", []string{"stable"}, nil)}),
+		Actions: actions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(Config{Graph: g, Actions: actions, TaskFSSize: 1 << 20})
+	var taskErr *TaskError
+	if !errors.As(err, &taskErr) || !errors.Is(err, fs.ErrNoSpace) {
+		t.Fatalf("Build = %v, want *TaskError wrapping fs.ErrNoSpace", err)
+	}
+	if taskErr.Task != "huge" {
+		t.Fatalf("failed task = %q", taskErr.Task)
+	}
+	// Wave 0 (gen-ok) committed; wave 1 (huge) must be invisible.
+	if _, ok := res.Outputs["big"]; ok {
+		t.Fatal("failed task's output committed")
+	}
+	if _, ok := res.Outputs["partial"]; ok {
+		t.Fatal("failed task's partial output committed")
+	}
+	if string(res.Outputs["stable"]) == "" {
+		t.Fatal("earlier wave's output missing from result")
+	}
+	if res.TreeDigest != srcOnly.TreeDigest {
+		t.Fatal("failed build's tree differs from the committed prefix")
+	}
+}
+
+// Sibling divergence the static check cannot see — one task's output
+// file is another's output directory prefix — surfaces as a typed
+// conflict with deterministic attribution at the reconciliation point.
+func TestSiblingOutputConflict(t *testing.T) {
+	actions := DefaultActions()
+	actions.Register("mkfile", func(c *TaskCtx) error {
+		return c.WriteFile(c.Outputs()[0], []byte("file"))
+	})
+	g, err := NewGraph([]*Task{
+		mkTask("a-file", "mkfile", []string{"clash"}, nil),
+		mkTask("b-nested", "mkfile", []string{"clash/deep.o"}, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(Config{Graph: g, Actions: actions})
+	var conflict *OutputConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("Build = %v, want *OutputConflictError", err)
+	}
+	if conflict.Path != "clash" || conflict.Tasks != [2]string{"a-file", "b-nested"} {
+		t.Fatalf("conflict = %+v", conflict)
+	}
+}
+
+// A task that never writes a declared output fails typed.
+func TestMissingOutput(t *testing.T) {
+	actions := DefaultActions()
+	actions.Register("lazy", func(c *TaskCtx) error {
+		return c.WriteFile(c.Outputs()[0], []byte("only the first"))
+	})
+	g, err := NewGraph([]*Task{mkTask("l", "lazy", []string{"one", "two"}, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(Config{Graph: g, Actions: actions})
+	var miss *MissingOutputError
+	if !errors.As(err, &miss) {
+		t.Fatalf("Build = %v, want *MissingOutputError", err)
+	}
+	if miss.Task != "l" || miss.Path != "two" {
+		t.Fatalf("missing = %+v", miss)
+	}
+}
+
+// Scratch files written by an action never escape its space, and two
+// siblings may use the same scratch names without conflicting.
+func TestScratchIsInvisible(t *testing.T) {
+	actions := DefaultActions()
+	actions.Register("scratchy", func(c *TaskCtx) error {
+		if err := c.WriteFile("tmp/scratch.txt", []byte(c.TaskID())); err != nil {
+			return err
+		}
+		b, err := c.ReadFile("tmp/scratch.txt")
+		if err != nil {
+			return err
+		}
+		return c.WriteFile(c.Outputs()[0], b)
+	})
+	g, err := NewGraph([]*Task{
+		mkTask("s1", "scratchy", []string{"o1"}, nil),
+		mkTask("s2", "scratchy", []string{"o2"}, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(Config{Graph: g, Actions: actions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Outputs["o1"]) != "s1" || string(res.Outputs["o2"]) != "s2" {
+		t.Fatalf("outputs = %q %q", res.Outputs["o1"], res.Outputs["o2"])
+	}
+	if _, ok := res.Outputs["tmp/scratch.txt"]; ok {
+		t.Fatal("scratch escaped the task space")
+	}
+}
+
+// Nested output paths work end to end (directories are created on
+// stage, reconcile, and commit).
+func TestNestedOutputPaths(t *testing.T) {
+	g, err := NewGraph([]*Task{
+		mkTask("c", "upper", []string{"obj/deep/x.o"}, []string{"src/x.c"}),
+		mkTask("l", "concat", []string{"bin/a.out"}, []string{"obj/deep/x.o"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(Config{Graph: g, Sources: map[string][]byte{"src/x.c": []byte("zz\n")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Outputs["bin/a.out"]) != "ZZ\n" {
+		t.Fatalf("bin/a.out = %q", res.Outputs["bin/a.out"])
+	}
+}
+
+func mustGraph(t *testing.T, tasks []*Task) *Graph {
+	t.Helper()
+	g, err := NewGraph(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
